@@ -1,0 +1,123 @@
+// Command wafe is the Widget[Athena]FrontEnd: a Tcl interpreter
+// extended with X Toolkit and Athena widget commands, talking to a
+// headless in-memory X display.
+//
+// It supports the paper's three modes of operation:
+//
+//	wafe                          interactive mode (commands from stdin)
+//	wafe --f script.wafe          file mode (the #! magic)
+//	wafe --app backend args...    frontend mode (backend as child process)
+//	xwafeApp → wafeApp            frontend mode via the symlink scheme
+//
+// Arguments starting with a double dash are handled by the frontend;
+// -display and -xrm go to the X Toolkit; the rest is passed to the
+// application program.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"wafe/internal/core"
+	"wafe/internal/frontend"
+)
+
+func main() {
+	os.Exit(run(os.Args))
+}
+
+func run(args []string) int {
+	opts, err := frontend.ParseArgs(args[0], args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if opts.ShowVersion {
+		fmt.Println(frontend.Version)
+		return 0
+	}
+	set := core.SetAthena
+	if strings.Contains(args[0], "mofe") {
+		set = core.SetMotif
+	}
+	w, err := core.New(core.Config{
+		AppName:     opts.AppName,
+		DisplayName: opts.DisplayName,
+		Set:         set,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wafe:", err)
+		return 2
+	}
+	// The resource description file is evaluated at startup, before
+	// -xrm entries (which therefore take precedence on ties).
+	resFile := opts.ResourceFile
+	if resFile == "" {
+		resFile = os.Getenv("WAFE_RESOURCE_FILE")
+	}
+	if resFile == "" {
+		if _, err := os.Stat("Wafe.ad"); err == nil {
+			resFile = "Wafe.ad"
+		}
+	}
+	if resFile != "" {
+		data, err := os.ReadFile(resFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wafe: resource file:", err)
+			return 2
+		}
+		if err := w.App.DB.EnterString(string(data)); err != nil {
+			fmt.Fprintln(os.Stderr, "wafe: resource file:", err)
+			return 2
+		}
+	}
+	for _, e := range opts.XrmEntries {
+		if err := w.App.DB.EnterString(e); err != nil {
+			fmt.Fprintln(os.Stderr, "wafe: -xrm:", err)
+			return 2
+		}
+	}
+	f := frontend.New(w, opts, os.Stdout)
+
+	switch opts.Mode {
+	case frontend.ModeInteractive:
+		w.Interp.Stdout = func(line string) { fmt.Println(line) }
+		err := f.RunInteractive(os.Stdin, func() { fmt.Fprint(os.Stderr, "wafe> ") })
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wafe:", err)
+			return 1
+		}
+		return w.ExitCode()
+
+	case frontend.ModeFile:
+		data, err := os.ReadFile(opts.ScriptFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wafe:", err)
+			return 2
+		}
+		w.Interp.Stdout = func(line string) { fmt.Println(line) }
+		if err := f.RunScript(string(data)); err != nil {
+			fmt.Fprintln(os.Stderr, "wafe:", err)
+			return 1
+		}
+		if w.QuitRequested() {
+			return w.ExitCode()
+		}
+		// The script realized a UI and did not quit: enter the event
+		// loop (timeouts keep it alive; quit ends it).
+		return w.App.MainLoop()
+
+	case frontend.ModeFrontend:
+		child, err := f.Spawn(opts.AppProgram, opts.AppArgs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		code := w.App.MainLoop()
+		child.Kill()
+		_ = child.Wait()
+		return code
+	}
+	return 0
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunFileMode(t *testing.T) {
+	dir := t.TempDir()
+	script := filepath.Join(dir, "s.wafe")
+	if err := os.WriteFile(script, []byte("label l topLevel\nquit 5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"wafe", "--f", script}); code != 5 {
+		t.Errorf("exit = %d, want 5", code)
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	if code := run([]string{"wafe", "--bogus"}); code != 2 {
+		t.Errorf("bad option exit = %d", code)
+	}
+	if code := run([]string{"wafe", "--f", "/no/such/script"}); code != 2 {
+		t.Errorf("missing script exit = %d", code)
+	}
+}
+
+func TestRunScriptError(t *testing.T) {
+	dir := t.TempDir()
+	script := filepath.Join(dir, "bad.wafe")
+	if err := os.WriteFile(script, []byte("label\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"wafe", "--f", script}); code != 1 {
+		t.Errorf("script error exit = %d", code)
+	}
+}

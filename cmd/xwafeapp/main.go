@@ -1,0 +1,61 @@
+// Command xwafeapp demonstrates the symlink naming scheme of the
+// paper: "Suppose an application program is named wafeApp. If a link
+// like ln -s wafe xwafeApp is established and xwafeApp is executed, the
+// program wafeApp is spawned as a subprocess of wafe and connects its
+// stdio channels with the frontend."
+//
+// It resolves its own invocation name (or -as NAME) through the scheme
+// and either prints the resolution (-n) or executes wafe --app with the
+// resolved backend.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"wafe/internal/frontend"
+)
+
+func main() {
+	as := flag.String("as", "", "pretend the binary was invoked under this name")
+	dry := flag.Bool("n", false, "print the resolution instead of running wafe")
+	wafeBin := flag.String("wafe", "wafe", "path to the wafe binary")
+	flag.Parse()
+
+	name := os.Args[0]
+	if *as != "" {
+		name = *as
+	}
+	app, ok := frontend.SymlinkApp(baseName(name))
+	if !ok {
+		fmt.Fprintf(os.Stderr, "xwafeapp: %q does not follow the xApp naming scheme\n", name)
+		os.Exit(2)
+	}
+	if *dry {
+		fmt.Printf("%s → wafe --app %s %v\n", baseName(name), app, flag.Args())
+		return
+	}
+	args := append([]string{"--app", app}, flag.Args()...)
+	cmd := exec.Command(*wafeBin, args...)
+	cmd.Stdin = os.Stdin
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintln(os.Stderr, "xwafeapp:", err)
+		os.Exit(1)
+	}
+}
+
+func baseName(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return p[i+1:]
+		}
+	}
+	return p
+}

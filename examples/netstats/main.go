@@ -1,0 +1,169 @@
+// Netstats is an xnetstats-style monitor ("frontend for netstat -i
+// <interval>"): a backend process periodically emits interface packet
+// counters; the frontend shows them as a bar graph, a line-graph
+// history, and a strip chart. Real production traces are unavailable
+// offline, so the backend synthesizes a deterministic traffic pattern —
+// the code path (periodic %-commands updating plotter widgets) is
+// identical to running the real netstat.
+//
+//	go run ./examples/netstats           # 6 sampling rounds
+//	go run ./examples/netstats -rounds 3
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"wafe/internal/core"
+	"wafe/internal/frontend"
+	"wafe/internal/plotter"
+	"wafe/internal/xaw"
+)
+
+var interfaces = []string{"ln0", "le0", "lo0"}
+
+func main() {
+	backendMode := flag.Bool("backend", false, "run as the stats emitter (internal)")
+	rounds := flag.Int("rounds", 6, "number of sampling rounds")
+	flag.Parse()
+	if *backendMode {
+		backend(*rounds)
+		return
+	}
+	run(*rounds)
+}
+
+// synthTraffic is the deterministic per-round packet count for an
+// interface — a stand-in for real counters.
+func synthTraffic(iface string, round int) int {
+	base := map[string]int{"ln0": 120, "le0": 60, "lo0": 10}[iface]
+	return base + (round*37+len(iface)*13)%90
+}
+
+func backend(rounds int) {
+	out := bufio.NewWriter(os.Stdout)
+	emit := func(s string) { out.WriteString(s + "\n"); out.Flush() }
+	emit("%form top topLevel")
+	emit("%label title top label {network statistics (packets/interval)} borderWidth 0")
+	emit("%barGraph bars top fromVert title width 240 height 80 data {0 0 0} labels {" + strings.Join(interfaces, " ") + "} showValues true")
+	emit("%lineGraph hist top fromVert bars width 240 height 60 gridLines 2")
+	emit("%stripChart chart top fromVert hist width 240 height 40")
+	emit("%realize")
+	history := make([][]int, len(interfaces))
+	for round := 0; round < rounds; round++ {
+		var now []string
+		total := 0
+		for i, iface := range interfaces {
+			v := synthTraffic(iface, round)
+			history[i] = append(history[i], v)
+			now = append(now, fmt.Sprint(v))
+			total += v
+		}
+		emit("%sV bars data {" + strings.Join(now, " ") + "}")
+		// Each command must fit in a single line (the paper's 64 KB
+		// line protocol), so embedded newlines travel as \n escapes
+		// inside a quoted word.
+		var lines []string
+		for _, h := range history {
+			var row []string
+			for _, v := range h {
+				row = append(row, fmt.Sprint(v))
+			}
+			lines = append(lines, strings.Join(row, " "))
+		}
+		emit(`%sV hist data "` + strings.Join(lines, `\n`) + `"`)
+		emit(fmt.Sprintf("%%stripChartSample chart %d", total))
+		emit(fmt.Sprintf("%%echo round %d done", round))
+		// Wait for the frontend's acknowledgement before the next round
+		// (the interval ticker of the real netstat -i N).
+		sc := bufio.NewScanner(os.Stdin)
+		if !sc.Scan() {
+			return
+		}
+	}
+	emit("%echo all-rounds-done")
+}
+
+func run(rounds int) {
+	w, err := core.New(core.Config{AppName: "xnetstats", Set: core.SetAthena, TestDisplay: true})
+	if err != nil {
+		fatal(err)
+	}
+	f := frontend.New(w, &frontend.Options{Mode: frontend.ModeFrontend}, os.Stdout)
+	exe, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	child, err := f.Spawn(exe, []string{"-backend", "-rounds", fmt.Sprint(rounds)})
+	if err != nil {
+		fatal(err)
+	}
+	done := make(chan int, 1)
+	go func() { done <- w.App.MainLoop() }()
+	loopDone := false
+	// post runs fn on the event loop; once the loop has ended (the
+	// backend exiting quits it), fn runs inline — nothing else touches
+	// the app at that point.
+	post := func(fn func()) {
+		if loopDone {
+			fn()
+			return
+		}
+		ch := make(chan struct{})
+		w.App.Post(func() { fn(); close(ch) })
+		select {
+		case <-ch:
+		case <-done:
+			loopDone = true
+			fn()
+		}
+	}
+
+	// Echo output from the backend goes to the backend's stdin; we need
+	// the frontend to ack each round. Replace the interpreter output so
+	// "round N done" both acks and reports.
+	completed := make(chan string, 16)
+	orig := w.Interp.Stdout
+	post(func() {
+		w.Interp.Stdout = func(line string) {
+			orig(line) // ack to the backend
+			completed <- line
+		}
+	})
+	for i := 0; i < rounds; i++ {
+		select {
+		case line := <-completed:
+			var bars []float64
+			var samples int
+			post(func() {
+				bars = plotter.Values(w.App.WidgetByName("bars"))
+				if c := w.App.WidgetByName("chart"); c != nil {
+					samples = len(xaw.StripChartSamples(c))
+				}
+			})
+			fmt.Printf("%-14s bars=%v stripchart-samples=%d\n", line, bars, samples)
+		case <-time.After(10 * time.Second):
+			fatal(fmt.Errorf("timeout waiting for round %d", i))
+		}
+	}
+	post(func() {
+		snap, _ := w.Eval("snapshot")
+		fmt.Println("--- final view ---")
+		fmt.Print(snap)
+		w.App.Quit(0)
+	})
+	if !loopDone {
+		<-done
+	}
+	child.Kill()
+	_ = child.Wait()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netstats:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,107 @@
+// Perlwafe reproduces the last entry of the paper's demo list: "an
+// example program calling Wafe as a subprocess of the application
+// program (normally, it is the other way round)". Here the application
+// is this Go program; it builds the wafe binary, starts it in
+// interactive mode as a child, feeds Wafe commands down its stdin and
+// reads results from its stdout.
+//
+//	go run ./examples/perlwafe
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	bin, cleanup, err := buildWafe()
+	if err != nil {
+		fatal(err)
+	}
+	defer cleanup()
+
+	cmd := exec.Command(bin)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		fatal(err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		fatal(err)
+	}
+	cmd.Stderr = io.Discard // the wafe> prompts
+	if err := cmd.Start(); err != nil {
+		fatal(err)
+	}
+	out := bufio.NewScanner(stdout)
+
+	send := func(line string) {
+		fmt.Fprintln(stdin, line)
+	}
+	// Ask wafe to echo a sentinel after each step so we know when the
+	// step's output is complete.
+	expect := func(sentinel string) []string {
+		var lines []string
+		for out.Scan() {
+			l := out.Text()
+			if l == sentinel {
+				return lines
+			}
+			lines = append(lines, l)
+		}
+		fatal(fmt.Errorf("wafe exited before sentinel %q", sentinel))
+		return nil
+	}
+
+	fmt.Println("application: started wafe as a subprocess, building a UI remotely")
+	send("label l topLevel label {driven from the parent process}")
+	send("realize")
+	send("echo step1-done")
+	expect("step1-done")
+
+	send("echo [getResourceList l rv]")
+	send("echo step2-done")
+	res := expect("step2-done")
+	fmt.Printf("application: wafe reports %s resources for the Label\n", strings.TrimSpace(strings.Join(res, "")))
+
+	send("echo [snapshot]")
+	send("echo step3-done")
+	snap := expect("step3-done")
+	fmt.Println("application: snapshot received from the wafe child:")
+	for _, l := range snap {
+		fmt.Println("  " + l)
+	}
+
+	send("quit")
+	_ = stdin.(io.Closer).Close()
+	if err := cmd.Wait(); err != nil {
+		fatal(err)
+	}
+	fmt.Println("application: wafe child exited cleanly")
+}
+
+// buildWafe compiles cmd/wafe into a temp dir (the example is run from
+// the repository root via go run).
+func buildWafe() (string, func(), error) {
+	dir, err := os.MkdirTemp("", "perlwafe")
+	if err != nil {
+		return "", nil, err
+	}
+	bin := filepath.Join(dir, "wafe")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/wafe")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		os.RemoveAll(dir)
+		return "", nil, fmt.Errorf("building wafe: %v\n%s", err, out)
+	}
+	return bin, func() { os.RemoveAll(dir) }, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perlwafe:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module wafe
+
+go 1.22

@@ -1,0 +1,393 @@
+package wafe
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wafe/internal/core"
+	"wafe/internal/frontend"
+)
+
+var (
+	buildOnce sync.Once
+	wafeBin   string
+	buildErr  error
+)
+
+// buildWafe compiles cmd/wafe once per test run.
+func buildWafe(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "wafebin")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		wafeBin = filepath.Join(dir, "wafe")
+		cmd := exec.Command("go", "build", "-o", wafeBin, "./cmd/wafe")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			buildErr = err
+			t.Logf("build output: %s", out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building wafe: %v", buildErr)
+	}
+	return wafeBin
+}
+
+// TestDemoScripts runs every file-mode script under demos/ against the
+// real binary — the demo applications of the Wafe distribution.
+func TestDemoScripts(t *testing.T) {
+	bin := buildWafe(t)
+	demos, err := filepath.Glob("demos/*.wafe")
+	if err != nil || len(demos) == 0 {
+		t.Fatalf("no demos found: %v", err)
+	}
+	wantMarker := map[string]string{
+		"xwafemc.wafe":   "final: 3 of 3 correct",
+		"xwafetel.wafe":  "lookup: Neumann Gustaf -> +43 1 31336 4671",
+		"xwafecf.wafe":   "details popped up with: card 2: Tcl 6.7",
+		"xruptimes.wafe": "sparc1 now: load 3.7",
+		"xbm.wafe":       "img1 pixmap: arrow (16x12)",
+		"xwafemail.wafe": "reply-to: nusser@wu-wien.ac.at subject Re: master thesis",
+		"xwafeora.wafe":  "updated row 1 year to 1994",
+	}
+	for _, demo := range demos {
+		demo := demo
+		t.Run(filepath.Base(demo), func(t *testing.T) {
+			out, err := exec.Command(bin, "--f", demo).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", demo, err, out)
+			}
+			if marker := wantMarker[filepath.Base(demo)]; marker != "" {
+				if !strings.Contains(string(out), marker) {
+					t.Errorf("%s output missing %q:\n%s", demo, marker, out)
+				}
+			}
+		})
+	}
+}
+
+// TestExamples runs every example program end to end ("go run" each
+// main). Skipped with -short: each example compiles a binary.
+func TestExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are slow under -short")
+	}
+	wantMarker := map[string]string{
+		"quickstart":   "Goodbye",
+		"primefactors": "frontend: 360 → 2*2*2*3*3*5",
+		"dirtree":      "--- after selecting \"src/\" ---",
+		"netstats":     "round 1 done",
+		"motif":        "direction=rtl",
+		"designer":     "widget class hierarchy",
+		"gopher":       "Wafe = Tcl + (Intrinsics + Widgets + Converters + Ext).",
+		"perlwafe":     "wafe reports 42 resources",
+	}
+	examples, err := filepath.Glob("examples/*")
+	if err != nil || len(examples) == 0 {
+		t.Fatal("no examples found")
+	}
+	for _, dir := range examples {
+		dir := dir
+		name := filepath.Base(dir)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			args := []string{"run", "./" + dir}
+			if name == "netstats" {
+				args = append(args, "-rounds", "2")
+			}
+			cmd := exec.Command("go", args...)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			marker := wantMarker[name]
+			if marker == "" {
+				t.Fatalf("no output marker defined for example %s", name)
+			}
+			if !strings.Contains(string(out), marker) {
+				t.Errorf("example %s output missing %q:\n%s", name, marker, out)
+			}
+		})
+	}
+	// Cleanup artifacts examples write into the repo root.
+	t.Cleanup(func() { os.Remove("figure3.png") })
+}
+
+// TestDesignerInteractive drives the xwafedesign example's -i mode over
+// stdin and runs the saved script through the real wafe binary — the
+// paper's "this script can also be used later as a frontend" loop.
+func TestDesignerInteractive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles two binaries")
+	}
+	bin := buildWafe(t)
+	dir := t.TempDir()
+	saved := filepath.Join(dir, "designed.wafe")
+	session := strings.Join([]string{
+		"add form top topLevel",
+		"add command go top",
+		"set go callback quit",
+		"save " + saved,
+		"done",
+	}, "\n") + "\n"
+	cmd := exec.Command("go", "run", "./examples/designer", "-i")
+	cmd.Stdin = strings.NewReader(session)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("designer -i: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "saved 2 widgets") {
+		t.Fatalf("save missing:\n%s", out)
+	}
+	// Append a synthetic click so the saved UI quits by itself, then
+	// run it in file mode.
+	f, err := os.OpenFile(saved, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("sendClick go\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if out, err := exec.Command(bin, "--f", saved).CombinedOutput(); err != nil {
+		t.Fatalf("saved script failed: %v\n%s", err, out)
+	}
+}
+
+// TestInteractiveModeBinary drives the binary's interactive mode over
+// stdin, replaying the paper's getResourceList session.
+func TestInteractiveModeBinary(t *testing.T) {
+	bin := buildWafe(t)
+	script := `label l topLevel
+echo [getResourceList l retVal]
+echo Resources: $retVal
+quit
+`
+	cmd := exec.Command(bin)
+	cmd.Stdin = strings.NewReader(script)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("interactive run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "42") {
+		t.Errorf("missing resource count:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "Resources: destroyCallback ancestorSensitive") {
+		t.Errorf("missing resource list:\n%s", out.String())
+	}
+}
+
+// TestFrontendModeBinary runs the real frontend with a /bin/sh backend —
+// the cross-language property the paper is about.
+func TestFrontendModeBinary(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("needs /bin/sh")
+	}
+	if _, err := os.Stat("/bin/sh"); err != nil {
+		t.Skip("no /bin/sh")
+	}
+	bin := buildWafe(t)
+	dir := t.TempDir()
+	backend := filepath.Join(dir, "wafecount")
+	script := `#!/bin/sh
+echo '%command inc topLevel label {+1} callback {echo inc}'
+echo '%realize'
+echo '%sendClick inc'
+echo '%sendClick inc'
+echo '%sendClick inc'
+echo '%echo state done'
+n=0
+while read line; do
+  case "$line" in
+    inc) n=$((n+1)) ;;
+    state*) echo "backend counted $n clicks"; echo '%quit' ;;
+  esac
+done
+`
+	if err := os.WriteFile(backend, []byte(script), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "--app", backend).CombinedOutput()
+	if err != nil {
+		t.Fatalf("frontend run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "backend counted 3 clicks") {
+		t.Errorf("click round trip failed:\n%s", out)
+	}
+}
+
+// TestSpawnTransports runs the same shell backend over both transports
+// (socketpair preferred, pipes fallback — the paper's availability
+// note).
+func TestSpawnTransports(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("needs /bin/sh")
+	}
+	if _, err := os.Stat("/bin/sh"); err != nil {
+		t.Skip("no /bin/sh")
+	}
+	dir := t.TempDir()
+	backend := filepath.Join(dir, "echoapp")
+	script := `#!/bin/sh
+echo '%label l topLevel label transported'
+echo '%realize'
+echo '%echo probe [gV l label]'
+while read line; do
+  case "$line" in
+    probe*) echo "got: $line"; echo '%quit' ;;
+  esac
+done
+`
+	if err := os.WriteFile(backend, []byte(script), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, ipc := range map[string]frontend.IPC{"socketpair": frontend.IPCSocketpair, "pipe": frontend.IPCPipe} {
+		ipc := ipc
+		t.Run(name, func(t *testing.T) {
+			w := core.NewTest()
+			var term bytes.Buffer
+			f := frontend.New(w, nil, &syncWriter{w: &term})
+			child, err := f.SpawnIPC(backend, nil, ipc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if name == "socketpair" && child.Transport != frontend.IPCSocketpair {
+				t.Log("socketpair unavailable; fell back to pipes")
+			}
+			done := make(chan int, 1)
+			go func() { done <- w.App.MainLoop() }()
+			select {
+			case <-done:
+			case <-timeAfter(5):
+				t.Fatal("main loop did not finish")
+			}
+			child.Kill()
+			_ = child.Wait()
+			if !strings.Contains(term.String(), "got: probe transported") {
+				t.Errorf("round trip failed over %s:\n%s", name, term.String())
+			}
+		})
+	}
+}
+
+type syncWriter struct {
+	mu sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+func timeAfter(sec int) <-chan time.Time { return time.After(time.Duration(sec) * time.Second) }
+
+// TestSymlinkDispatchBinary verifies the "ln -s wafe xwafeApp" scheme
+// against the real binary.
+func TestSymlinkDispatchBinary(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("symlinks")
+	}
+	bin := buildWafe(t)
+	dir := t.TempDir()
+	backend := filepath.Join(dir, "wafehello")
+	if err := os.WriteFile(backend, []byte("#!/bin/sh\necho '%echo [pid]'\necho '%quit'\nread x\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	link := filepath.Join(dir, "xwafehello")
+	if err := os.Symlink(bin, link); err != nil {
+		t.Skip("cannot create symlink:", err)
+	}
+	cmd := exec.Command(link)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "PATH="+dir+":"+os.Getenv("PATH"))
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("symlink run: %v\n%s", err, out)
+	}
+}
+
+// TestFileModeExitCode: quit's status becomes the process exit code.
+func TestFileModeExitCode(t *testing.T) {
+	bin := buildWafe(t)
+	dir := t.TempDir()
+	script := filepath.Join(dir, "exit3.wafe")
+	if err := os.WriteFile(script, []byte("quit 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := exec.Command(bin, "--f", script).Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 3 {
+		t.Errorf("exit code = %v, want 3", err)
+	}
+}
+
+// TestResourceFileBinary: the application-defaults file loads at
+// startup and applies to widgets, with -xrm taking precedence.
+func TestResourceFileBinary(t *testing.T) {
+	bin := buildWafe(t)
+	dir := t.TempDir()
+	resFile := filepath.Join(dir, "app.ad")
+	if err := os.WriteFile(resFile, []byte("*label: from-file\n*foreground: blue\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	script := filepath.Join(dir, "r.wafe")
+	if err := os.WriteFile(script, []byte("label l topLevel\necho label=[gV l label] fg=[gV l foreground]\nquit\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "--resources", resFile, "--f", script).CombinedOutput()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "label=from-file") || !strings.Contains(string(out), "fg=#0000ff") {
+		t.Errorf("resource file ignored:\n%s", out)
+	}
+	// -xrm overrides the file.
+	out, err = exec.Command(bin, "--resources", resFile, "-xrm", "*label: from-xrm", "--f", script).CombinedOutput()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "label=from-xrm") {
+		t.Errorf("-xrm should override the file:\n%s", out)
+	}
+	// Env-var path.
+	cmd := exec.Command(bin, "--f", script)
+	cmd.Env = append(os.Environ(), "WAFE_RESOURCE_FILE="+resFile)
+	out, err = cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("env run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "label=from-file") {
+		t.Errorf("WAFE_RESOURCE_FILE ignored:\n%s", out)
+	}
+}
+
+// TestXrmOptionBinary: -xrm entries reach the resource database.
+func TestXrmOptionBinary(t *testing.T) {
+	bin := buildWafe(t)
+	dir := t.TempDir()
+	script := filepath.Join(dir, "xrm.wafe")
+	if err := os.WriteFile(script, []byte("label l topLevel\necho label=[gV l label]\nquit\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-xrm", "*label: from-xrm", "--f", script).CombinedOutput()
+	if err != nil {
+		t.Fatalf("xrm run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "label=from-xrm") {
+		t.Errorf("-xrm ignored:\n%s", out)
+	}
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"wafe/internal/spec"
+)
+
+// TestSpecRuntimeConsistency verifies the generator's headline benefit:
+// "consistency in documentation and interface code". Every command the
+// specification declares must be registered in the running interpreter
+// under exactly the generated name, and every widget class in the
+// runtime registry must appear in the spec.
+func TestSpecRuntimeConsistency(t *testing.T) {
+	data, err := os.ReadFile("../../specs/wafe.spec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := spec.Parse(string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewTest() // SetBoth: Athena + Motif + Plotter
+	for _, e := range entries {
+		cmd := e.CommandName()
+		if !w.Interp.HasCommand(cmd) {
+			t.Errorf("spec declares %q (%s) but the runtime does not register it", cmd, e.Kind)
+		}
+	}
+	// Reverse direction for widget classes.
+	declared := map[string]bool{}
+	for _, e := range entries {
+		if e.Kind == "widgetClass" {
+			declared[e.ClassName] = true
+		}
+	}
+	for _, c := range w.WidgetSetClasses() {
+		if !declared[c.Name] {
+			t.Errorf("runtime registers widget class %q missing from the spec", c.Name)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"wafe/gen/bindings"
+)
+
+// Wafe implements bindings.Dispatcher, the hand-written half of the
+// generated command bindings: the generated code (gen/bindings,
+// produced by cmd/wafegen from specs/wafe.spec) performs argument
+// checking and marshalling, then calls into these typed entry points —
+// the same division of labour as the original system, where the Perl
+// generator produced the conversion/registration C code around
+// hand-written implementation functions.
+
+// CreateWidgetClass instantiates a widget of the named class.
+func (w *Wafe) CreateWidgetClass(className, name, father string, unmanaged bool, resources []string) (string, error) {
+	argv := []string{CreationCommandName(className), name, father}
+	if unmanaged {
+		argv = append(argv, "-unmanaged")
+	}
+	argv = append(argv, resources...)
+	return w.Interp.EvalWords(argv)
+}
+
+// CallFunction invokes the toolkit function's Wafe command with the
+// converted arguments.
+func (w *Wafe) CallFunction(cName string, args []bindings.Arg) (string, error) {
+	argv := make([]string, 0, len(args)+1)
+	argv = append(argv, CommandName(cName))
+	for _, a := range args {
+		argv = append(argv, a.Value)
+	}
+	return w.Interp.EvalWords(argv)
+}
+
+// RunBinding executes a generated binding by command name — used by
+// tests and by embedders that want the generated arity checking in
+// front of the command dispatch.
+func (w *Wafe) RunBinding(command string, argv []string) (string, error) {
+	b, ok := bindings.Bindings[command]
+	if !ok {
+		return "", &bindingError{command}
+	}
+	return b.Run(w, argv)
+}
+
+type bindingError struct{ cmd string }
+
+func (e *bindingError) Error() string { return "no generated binding for command " + e.cmd }

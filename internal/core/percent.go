@@ -1,0 +1,164 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+
+	"wafe/internal/xproto"
+	"wafe/internal/xt"
+)
+
+// actionEventName maps an event type to the %t expansion. Only the six
+// event types in the paper's table are named; everything else expands
+// to "unknown".
+func actionEventName(t xproto.EventType) string {
+	switch t {
+	case xproto.ButtonPress:
+		return "ButtonPress"
+	case xproto.ButtonRelease:
+		return "ButtonRelease"
+	case xproto.KeyPress:
+		return "KeyPress"
+	case xproto.KeyRelease:
+		return "KeyRelease"
+	case xproto.EnterNotify:
+		return "EnterNotify"
+	case xproto.LeaveNotify:
+		return "LeaveNotify"
+	}
+	return "unknown"
+}
+
+func isButtonEvent(t xproto.EventType) bool {
+	return t == xproto.ButtonPress || t == xproto.ButtonRelease
+}
+
+func isKeyEvent(t xproto.EventType) bool {
+	return t == xproto.KeyPress || t == xproto.KeyRelease
+}
+
+func isPercentEvent(t xproto.EventType) bool {
+	switch t {
+	case xproto.ButtonPress, xproto.ButtonRelease, xproto.KeyPress, xproto.KeyRelease,
+		xproto.EnterNotify, xproto.LeaveNotify:
+		return true
+	}
+	return false
+}
+
+// ExpandActionPercent substitutes the exec-action percent codes of the
+// paper's table into a command string:
+//
+//	%t event type   %w widget      %b button number
+//	%x %y           window coords  %X %Y root coords
+//	%a ascii char   %k keycode     %s keysym
+//
+// Codes that are invalid for the event type expand to the empty string
+// ("it is the programmer's responsibility to ensure ... a percent code
+// substitution occurs only with a valid event type").
+func ExpandActionPercent(cmd string, w *xt.Widget, ev *xproto.Event) string {
+	if !strings.ContainsRune(cmd, '%') {
+		return cmd
+	}
+	var b strings.Builder
+	for i := 0; i < len(cmd); i++ {
+		c := cmd[i]
+		if c != '%' || i+1 >= len(cmd) {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		code := cmd[i]
+		if ev == nil {
+			if code == '%' {
+				b.WriteByte('%')
+			} else if code == 'w' {
+				b.WriteString(w.Name)
+			}
+			continue
+		}
+		switch code {
+		case '%':
+			b.WriteByte('%')
+		case 't':
+			b.WriteString(actionEventName(ev.Type))
+		case 'w':
+			b.WriteString(w.Name)
+		case 'b':
+			if isButtonEvent(ev.Type) {
+				b.WriteString(strconv.Itoa(ev.Button))
+			}
+		case 'x':
+			if isPercentEvent(ev.Type) {
+				b.WriteString(strconv.Itoa(ev.X))
+			}
+		case 'y':
+			if isPercentEvent(ev.Type) {
+				b.WriteString(strconv.Itoa(ev.Y))
+			}
+		case 'X':
+			if isPercentEvent(ev.Type) {
+				b.WriteString(strconv.Itoa(ev.XRoot))
+			}
+		case 'Y':
+			if isPercentEvent(ev.Type) {
+				b.WriteString(strconv.Itoa(ev.YRoot))
+			}
+		case 'a':
+			if isKeyEvent(ev.Type) && ev.Rune != 0 {
+				b.WriteString(string(ev.Rune))
+			}
+		case 'k':
+			if isKeyEvent(ev.Type) {
+				b.WriteString(strconv.Itoa(ev.Keycode))
+			}
+		case 's':
+			if isKeyEvent(ev.Type) {
+				b.WriteString(ev.Keysym)
+			}
+		default:
+			// Unknown codes pass through untouched.
+			b.WriteByte('%')
+			b.WriteByte(code)
+		}
+	}
+	return b.String()
+}
+
+// ExpandCallbackPercent substitutes callback clientData percent codes.
+// %w (the invoking widget) is available for every callback; the other
+// codes come from the widget-class-specific CallData — for the Athena
+// List widget, %i (index) and %s (active element), per the paper's
+// table.
+func ExpandCallbackPercent(script string, w *xt.Widget, data xt.CallData) string {
+	if !strings.ContainsRune(script, '%') {
+		return script
+	}
+	var b strings.Builder
+	for i := 0; i < len(script); i++ {
+		c := script[i]
+		if c != '%' || i+1 >= len(script) {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		code := script[i]
+		switch {
+		case code == '%':
+			b.WriteByte('%')
+		case code == 'w':
+			b.WriteString(w.Name)
+		default:
+			if data != nil {
+				if v, ok := data[string(code)]; ok {
+					b.WriteString(v)
+					continue
+				}
+			}
+			// Codes not provided by this widget class stay literal.
+			b.WriteByte('%')
+			b.WriteByte(code)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+
+	"wafe/internal/rdd"
+	"wafe/internal/tcl"
+	"wafe/internal/xt"
+)
+
+// registerRddCommands installs the drag-and-drop commands layered over
+// internal/rdd, following the paper's extension story (the Rdd library
+// was one of the Xt-based libraries Wafe integrated).
+//
+//	rddRegisterSource widget script   — script's result is the drag data
+//	rddRegisterTarget widget script   — script runs on drop; %w target,
+//	                                    %v data, %x %y drop position
+//	rddUnregisterSource widget
+//	rddUnregisterTarget widget
+//	rddDrag source target             — synthetic drag (headless driver)
+func (w *Wafe) registerRddCommands() {
+	reg := func(name string, fn func(argv []string) (string, error)) {
+		w.Interp.RegisterCommand(name, func(_ *tcl.Interp, argv []string) (string, error) {
+			return fn(argv)
+		})
+	}
+	reg("rddRegisterSource", w.cmdRddRegisterSource)
+	reg("rddRegisterTarget", w.cmdRddRegisterTarget)
+	reg("rddUnregisterSource", w.cmdRddUnregisterSource)
+	reg("rddUnregisterTarget", w.cmdRddUnregisterTarget)
+	reg("rddDrag", w.cmdRddDrag)
+}
+
+func (w *Wafe) dnd() *rdd.DND { return rdd.Context(w.App) }
+
+func (w *Wafe) cmdRddRegisterSource(argv []string) (string, error) {
+	if len(argv) != 3 {
+		return "", tcl.NewError("wrong # args: should be \"rddRegisterSource widget script\"")
+	}
+	wid, err := w.widgetArg(argv[1])
+	if err != nil {
+		return "", err
+	}
+	script := argv[2]
+	err = w.dnd().RegisterSource(wid, func(src *xt.Widget) string {
+		res, err := w.Eval(strings.ReplaceAll(script, "%w", src.Name))
+		if err != nil {
+			w.reportScriptError("drag source", src, err)
+			return ""
+		}
+		return res
+	})
+	if err != nil {
+		return "", tcl.NewError("%s", err.Error())
+	}
+	return "", nil
+}
+
+func (w *Wafe) cmdRddRegisterTarget(argv []string) (string, error) {
+	if len(argv) != 3 {
+		return "", tcl.NewError("wrong # args: should be \"rddRegisterTarget widget script\"")
+	}
+	wid, err := w.widgetArg(argv[1])
+	if err != nil {
+		return "", err
+	}
+	script := argv[2]
+	err = w.dnd().RegisterTarget(wid, func(tgt *xt.Widget, data string, x, y int) {
+		expanded := script
+		expanded = strings.ReplaceAll(expanded, "%w", tgt.Name)
+		expanded = strings.ReplaceAll(expanded, "%v", tcl.QuoteListElement(data))
+		expanded = strings.ReplaceAll(expanded, "%x", strconv.Itoa(x))
+		expanded = strings.ReplaceAll(expanded, "%y", strconv.Itoa(y))
+		if _, err := w.Eval(expanded); err != nil {
+			w.reportScriptError("drop target", tgt, err)
+		}
+	})
+	if err != nil {
+		return "", tcl.NewError("%s", err.Error())
+	}
+	return "", nil
+}
+
+func (w *Wafe) cmdRddUnregisterSource(argv []string) (string, error) {
+	if len(argv) != 2 {
+		return "", tcl.NewError("wrong # args: should be \"rddUnregisterSource widget\"")
+	}
+	wid, err := w.widgetArg(argv[1])
+	if err != nil {
+		return "", err
+	}
+	w.dnd().UnregisterSource(wid)
+	return "", nil
+}
+
+func (w *Wafe) cmdRddUnregisterTarget(argv []string) (string, error) {
+	if len(argv) != 2 {
+		return "", tcl.NewError("wrong # args: should be \"rddUnregisterTarget widget\"")
+	}
+	wid, err := w.widgetArg(argv[1])
+	if err != nil {
+		return "", err
+	}
+	w.dnd().UnregisterTarget(wid)
+	return "", nil
+}
+
+func (w *Wafe) cmdRddDrag(argv []string) (string, error) {
+	if len(argv) != 3 {
+		return "", tcl.NewError("wrong # args: should be \"rddDrag source target\"")
+	}
+	src, err := w.widgetArg(argv[1])
+	if err != nil {
+		return "", err
+	}
+	dst, err := w.widgetArg(argv[2])
+	if err != nil {
+		return "", err
+	}
+	if err := w.dnd().Drag(src, dst); err != nil {
+		return "", tcl.NewError("%s", err.Error())
+	}
+	return "", nil
+}

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"wafe/internal/plotter"
+	"wafe/internal/tcl"
+	"wafe/internal/xaw"
+	"wafe/internal/xm"
+	"wafe/internal/xproto"
+	"wafe/internal/xt"
+)
+
+// WidgetSet selects which widget library a Wafe binary is configured
+// with. As in the paper, Athena and Motif widgets cannot be mixed
+// freely: installing the Motif version removes asciiText and friends,
+// and vice versa. The Plotter set is available in both.
+type WidgetSet int
+
+const (
+	// SetAthena is the primarily supported library.
+	SetAthena WidgetSet = iota
+	// SetMotif is the mofe binary.
+	SetMotif
+	// SetBoth is a research configuration used by tests.
+	SetBoth
+)
+
+// Config configures a Wafe instance.
+type Config struct {
+	AppName   string
+	ClassName string
+	// DisplayName names the X display (the -display argument).
+	DisplayName string
+	// Set selects Athena or Motif.
+	Set WidgetSet
+	// TestDisplay uses a private display (tests).
+	TestDisplay bool
+}
+
+// Wafe couples the Tcl interpreter with the Xt application context and
+// registers every Wafe command. One Wafe instance is one frontend
+// process.
+type Wafe struct {
+	Interp *tcl.Interp
+	App    *xt.App
+
+	// TopLevel is the automatically created application shell, "a top
+	// level shell automatically created in every Wafe program".
+	TopLevel *xt.Widget
+
+	cfg Config
+
+	// classes maps creation-command name → widget class.
+	classes map[string]*xt.Class
+
+	timers    map[string]*xt.Timer
+	nextID    int
+	chartRuns map[string]*stripChartRun
+
+	quitRequested bool
+	exitCode      int
+}
+
+// New creates a Wafe instance: Tcl interpreter, Xt app context, the
+// widget-set command bindings, the Wafe converters and the topLevel
+// shell.
+func New(cfg Config) (*Wafe, error) {
+	if cfg.AppName == "" {
+		cfg.AppName = "wafe"
+	}
+	if cfg.ClassName == "" {
+		cfg.ClassName = "Wafe"
+	}
+	var app *xt.App
+	if cfg.TestDisplay {
+		app = xt.NewTestApp(cfg.AppName)
+		app.ClassName = cfg.ClassName
+	} else {
+		app = xt.NewApp(cfg.AppName, cfg.ClassName, cfg.DisplayName)
+	}
+	w := &Wafe{
+		Interp:  tcl.New(),
+		App:     app,
+		cfg:     cfg,
+		classes: make(map[string]*xt.Class),
+		timers:  make(map[string]*xt.Timer),
+	}
+	w.registerConverters()
+	w.registerWidgetSet()
+	w.registerCommands()
+	w.registerRddCommands()
+	w.registerActions()
+	top, err := app.CreateWidget("topLevel", xt.ApplicationShellClass, nil, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	w.TopLevel = top
+	return w, nil
+}
+
+// NewTest returns a Wafe on a private display with both widget sets.
+func NewTest() *Wafe {
+	w, err := New(Config{TestDisplay: true, Set: SetBoth})
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// QuitRequested reports whether the quit command ran.
+func (w *Wafe) QuitRequested() bool { return w.quitRequested }
+
+// ExitCode returns the requested exit status.
+func (w *Wafe) ExitCode() int { return w.exitCode }
+
+// Eval evaluates a Wafe/Tcl command string and pumps the display queues
+// afterwards so side effects (exposures from realize, etc.) settle.
+func (w *Wafe) Eval(script string) (string, error) {
+	res, err := w.Interp.Eval(script)
+	if code, isExit := tcl.IsExit(err); isExit {
+		w.quitRequested = true
+		w.exitCode = code
+		w.App.Quit(code)
+		return res, nil
+	}
+	w.App.Pump()
+	return res, err
+}
+
+// widgetArg resolves a widget-name argument.
+func (w *Wafe) widgetArg(name string) (*xt.Widget, error) {
+	wid := w.App.WidgetByName(name)
+	if wid == nil {
+		return nil, tcl.NewError("no widget named %q", name)
+	}
+	return wid, nil
+}
+
+// classFor returns the class registered for a creation command.
+func (w *Wafe) classFor(cmd string) (*xt.Class, bool) {
+	c, ok := w.classes[cmd]
+	return c, ok
+}
+
+// WidgetSetClasses returns the classes for the configured set.
+func (w *Wafe) WidgetSetClasses() []*xt.Class {
+	var classes []*xt.Class
+	switch w.cfg.Set {
+	case SetAthena:
+		classes = xaw.AllClasses()
+	case SetMotif:
+		classes = xm.AllClasses()
+	case SetBoth:
+		classes = append(xaw.AllClasses(), xm.AllClasses()...)
+	}
+	classes = append(classes, plotter.AllClasses()...)
+	classes = append(classes,
+		xt.ApplicationShellClass,
+		xt.TopLevelShellClass,
+		xt.TransientShellClass,
+		xt.OverrideShellClass,
+	)
+	return classes
+}
+
+// registerWidgetSet installs one creation command per widget class,
+// derived with the naming rule (Toggle → "toggle Name Father ...").
+//
+// One derived name collides with a Tcl built-in: the Athena List class
+// yields "list". The command therefore dispatches on its second
+// argument — when it names an existing widget (or a display, for
+// shells) the call is a widget creation, otherwise the original Tcl
+// command runs. "list year 1994" stays a Tcl list; "list hits form"
+// creates a List widget.
+func (w *Wafe) registerWidgetSet() {
+	for _, class := range w.WidgetSetClasses() {
+		cmdName := CreationCommandName(class.Name)
+		w.classes[cmdName] = class
+		cls := class
+		if prev, collides := w.Interp.Command(cmdName); collides {
+			w.Interp.RegisterCommand(cmdName, func(in *tcl.Interp, argv []string) (string, error) {
+				if len(argv) >= 3 && (w.App.WidgetByName(argv[2]) != nil || cls.Shell) {
+					return w.cmdCreateWidget(cls, argv)
+				}
+				return prev(in, argv)
+			})
+			continue
+		}
+		w.Interp.RegisterCommand(cmdName, func(in *tcl.Interp, argv []string) (string, error) {
+			return w.cmdCreateWidget(cls, argv)
+		})
+	}
+	if w.cfg.Set == SetMotif || w.cfg.Set == SetBoth {
+		xm.RegisterConverters(w.App)
+	}
+}
+
+// cmdCreateWidget implements every creation command:
+//
+//	class Name Father ?-unmanaged? ?resource value?...
+//
+// For shells, Father may name a display instead of a widget.
+func (w *Wafe) cmdCreateWidget(class *xt.Class, argv []string) (string, error) {
+	cmd := argv[0]
+	if len(argv) < 3 {
+		return "", tcl.NewError("wrong # args: should be \"%s name father ?-unmanaged? ?resource value ...?\"", cmd)
+	}
+	name, father := argv[1], argv[2]
+	rest := argv[3:]
+	managed := true
+	if len(rest) > 0 && (rest[0] == "-unmanaged" || rest[0] == "unmanaged") {
+		managed = false
+		rest = rest[1:]
+	}
+	if len(rest)%2 != 0 {
+		return "", tcl.NewError("%s: resource arguments must come in attribute-value pairs", cmd)
+	}
+	args := make(map[string]string, len(rest)/2)
+	for i := 0; i+1 < len(rest); i += 2 {
+		args[rest[i]] = rest[i+1]
+	}
+	parent := w.App.WidgetByName(father)
+	if parent == nil {
+		if !class.Shell {
+			return "", tcl.NewError("no widget named %q", father)
+		}
+		// Father is a display specification: applicationShell top2 dec4:0
+		d := w.App.OpenSecondDisplay(father)
+		shell, err := w.App.CreateWidget(name, class, nil, args, false)
+		if err != nil {
+			return "", tcl.NewError("%s", err.Error())
+		}
+		if err := shell.SetDisplay(d); err != nil {
+			return "", tcl.NewError("%s", err.Error())
+		}
+		return name, nil
+	}
+	// Shells under a widget parent stay unmanaged (popups).
+	if class.Shell {
+		managed = false
+	}
+	if _, err := w.App.CreateWidget(name, class, parent, args, managed); err != nil {
+		return "", tcl.NewError("%s", err.Error())
+	}
+	return name, nil
+}
+
+// registerConverters installs the Wafe converter extensions: the
+// Callback converter, the extended Bitmap/Pixmap converter (XBM then
+// XPM) and — for Motif builds — XmString/FontList (done in
+// registerWidgetSet).
+func (w *Wafe) registerConverters() {
+	w.App.RegisterConverter(xt.TCallback, func(_ *xt.App, _ *xt.Widget, v string) (any, error) {
+		script := strings.TrimSpace(v)
+		if script == "" {
+			return xt.CallbackList(nil), nil
+		}
+		return xt.CallbackList{w.scriptCallback(script)}, nil
+	})
+	pixmapConv := func(_ *xt.App, _ *xt.Widget, v string) (any, error) {
+		s := strings.TrimSpace(v)
+		if s == "" || s == "None" {
+			return (*xproto.Pixmap)(nil), nil
+		}
+		// Wafe's extended converter: try XBM, then XPM.
+		pm, err := xproto.ParseBitmapOrPixmap(s)
+		if err != nil {
+			return nil, err
+		}
+		return pm, nil
+	}
+	w.App.RegisterConverter(xt.TPixmap, pixmapConv)
+	w.App.RegisterConverter(xt.TBitmap, pixmapConv)
+}
+
+// scriptCallback wraps a Tcl script as an Xt callback, applying the
+// clientData percent codes at invocation time.
+func (w *Wafe) scriptCallback(script string) xt.Callback {
+	return xt.Callback{
+		Source: script,
+		Proc: func(widget *xt.Widget, data xt.CallData) {
+			expanded := ExpandCallbackPercent(script, widget, data)
+			if _, err := w.Eval(expanded); err != nil {
+				w.reportScriptError("callback", widget, err)
+			}
+		},
+	}
+}
+
+func (w *Wafe) reportScriptError(kind string, widget *xt.Widget, err error) {
+	if code, isExit := tcl.IsExit(err); isExit {
+		w.quitRequested = true
+		w.exitCode = code
+		w.App.Quit(code)
+		return
+	}
+	name := "?"
+	if widget != nil {
+		name = widget.Name
+	}
+	w.Interp.Stdout(fmt.Sprintf("wafe: %s error in widget %s: %v", kind, name, err))
+}
+
+// registerActions installs the global exec action: "Wafe registers a
+// global action exec which accepts any Wafe command as argument".
+func (w *Wafe) registerActions() {
+	w.App.AddAction("exec", func(widget *xt.Widget, ev *xproto.Event, params []string) {
+		cmd := strings.Join(params, ",")
+		expanded := ExpandActionPercent(cmd, widget, ev)
+		if _, err := w.Eval(expanded); err != nil {
+			w.reportScriptError("action", widget, err)
+		}
+	})
+}

@@ -1,0 +1,271 @@
+package frontend
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"wafe/internal/core"
+	"wafe/internal/tcl"
+)
+
+// Frontend drives one Wafe instance in any of the three modes. In
+// frontend mode it owns the pipe pair to the application program and
+// the optional mass-transfer channel.
+type Frontend struct {
+	W    *core.Wafe
+	Opts *Options
+
+	// Terminal receives non-command output lines from the application
+	// program and diagnostics ("other lines from the application are
+	// printed by Wafe to stdout").
+	Terminal io.Writer
+
+	// toApp is the application program's stdin. Wafe's echo/puts output
+	// is sent there in frontend mode; the backend's read loop consumes
+	// it.
+	toApp io.Writer
+
+	// mass-transfer state (setCommunicationVariable).
+	massVar    string
+	massLimit  int
+	massAction string
+	massBuf    []byte
+	massFD     int
+
+	// stats for tests and benchmarks.
+	CommandLines  int
+	PassedLines   int
+	OverlongLines int
+}
+
+// New wires a Frontend around a Wafe instance.
+func New(w *core.Wafe, opts *Options, terminal io.Writer) *Frontend {
+	if opts == nil {
+		opts = &Options{Prefix: '%', LineLimit: DefaultLineLimit}
+	}
+	if opts.Prefix == 0 {
+		opts.Prefix = '%'
+	}
+	if opts.LineLimit == 0 {
+		opts.LineLimit = DefaultLineLimit
+	}
+	f := &Frontend{W: w, Opts: opts, Terminal: terminal, massFD: 3}
+	f.registerCommands()
+	return f
+}
+
+// registerCommands adds the frontend-mode commands getChannel and
+// setCommunicationVariable.
+func (f *Frontend) registerCommands() {
+	f.W.Interp.RegisterCommand("getChannel", func(_ *tcl.Interp, argv []string) (string, error) {
+		return strconv.Itoa(f.massFD), nil
+	})
+	f.W.Interp.RegisterCommand("setCommunicationVariable", func(_ *tcl.Interp, argv []string) (string, error) {
+		if len(argv) != 4 {
+			return "", tcl.NewError("wrong # args: should be \"setCommunicationVariable varName byteCount script\"")
+		}
+		n, err := strconv.Atoi(argv[2])
+		if err != nil || n <= 0 {
+			return "", tcl.NewError("bad byte count %q", argv[2])
+		}
+		f.massVar = argv[1]
+		f.massLimit = n
+		f.massAction = argv[3]
+		f.massBuf = f.massBuf[:0]
+		return "", nil
+	})
+}
+
+// AttachApp wires the application program's stdio: appOut is the
+// backend's stdout (read for `%` command lines), appIn its stdin
+// (receives Wafe's echo output). The reader goroutine feeds the Xt
+// event loop through AddInput, mirroring XtAppAddInput on the pipe.
+func (f *Frontend) AttachApp(appOut io.Reader, appIn io.Writer) {
+	f.toApp = appIn
+	// Route the interpreter's output to the backend.
+	f.W.Interp.Stdout = func(line string) {
+		fmt.Fprintln(appIn, line)
+		if fl, ok := appIn.(interface{ Flush() error }); ok {
+			_ = fl.Flush()
+		}
+	}
+	lines := make(chan string, 256)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(appOut)
+		sc.Buffer(make([]byte, 64*1024), f.Opts.LineLimit+4096)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+	}()
+	f.W.App.AddInput(lines, func(line string, eof bool) {
+		if eof {
+			// Application program terminated: the frontend quits too.
+			f.W.App.Quit(f.W.ExitCode())
+			return
+		}
+		f.HandleAppLine(line)
+	})
+}
+
+// HandleAppLine processes one output line from the application program:
+// prefix lines are interpreted as Wafe commands, everything else passes
+// through to the terminal.
+func (f *Frontend) HandleAppLine(line string) {
+	if len(line) > f.Opts.LineLimit {
+		f.OverlongLines++
+		fmt.Fprintf(f.Terminal, "wafe: command line exceeds %d bytes (%d), ignored\n", f.Opts.LineLimit, len(line))
+		return
+	}
+	if len(line) > 0 && line[0] == f.Opts.Prefix {
+		f.CommandLines++
+		if _, err := f.W.Eval(line[1:]); err != nil {
+			fmt.Fprintf(f.Terminal, "wafe: error in command %.60q: %v\n", line, err)
+		}
+		return
+	}
+	f.PassedLines++
+	fmt.Fprintln(f.Terminal, line)
+}
+
+// AttachMass wires the optional data channel: bytes read from r
+// accumulate until the configured byte count is reached, then the
+// transfer variable is set and the action script runs.
+func (f *Frontend) AttachMass(r io.Reader) {
+	chunks := make(chan string, 64)
+	go func() {
+		defer close(chunks)
+		buf := make([]byte, 8192)
+		for {
+			n, err := r.Read(buf)
+			if n > 0 {
+				chunks <- string(buf[:n])
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	f.W.App.AddInput(chunks, func(chunk string, eof bool) {
+		if eof {
+			return
+		}
+		f.massBuf = append(f.massBuf, chunk...)
+		f.drainMass()
+	})
+}
+
+// FeedMass delivers data-channel bytes synchronously (tests and
+// benchmarks; AttachMass is the asynchronous production path).
+func (f *Frontend) FeedMass(data string) {
+	f.massBuf = append(f.massBuf, data...)
+	f.drainMass()
+}
+
+func (f *Frontend) drainMass() {
+	for f.massLimit > 0 && len(f.massBuf) >= f.massLimit {
+		data := string(f.massBuf[:f.massLimit])
+		f.massBuf = append(f.massBuf[:0], f.massBuf[f.massLimit:]...)
+		if f.massVar != "" {
+			if err := f.W.Interp.SetGlobalVar(f.massVar, data); err != nil {
+				fmt.Fprintf(f.Terminal, "wafe: mass transfer variable: %v\n", err)
+				return
+			}
+		}
+		if f.massAction != "" {
+			if _, err := f.W.Eval(f.massAction); err != nil {
+				fmt.Fprintf(f.Terminal, "wafe: mass transfer action: %v\n", err)
+			}
+		}
+	}
+}
+
+// SendInitCom delivers the InitCom resource to the backend after the
+// fork ("for instance in Prolog, it is convenient to send a startup
+// goal"). It queries the resource database for <appName>.initCom /
+// *InitCom.
+func (f *Frontend) SendInitCom() {
+	if f.toApp == nil {
+		return
+	}
+	v, ok := f.W.App.DB.Query([]string{f.W.App.Name}, []string{f.W.App.ClassName}, "initCom", "InitCom")
+	if !ok || v == "" {
+		return
+	}
+	fmt.Fprintln(f.toApp, v)
+	if fl, ok := f.toApp.(interface{ Flush() error }); ok {
+		_ = fl.Flush()
+	}
+}
+
+// RunScript evaluates a command file's content (file mode).
+func (f *Frontend) RunScript(content string) error {
+	_, err := f.W.Eval(content)
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// RunInteractive reads commands from r, evaluating line by line with
+// brace-continuation: lines are accumulated until braces and brackets
+// balance, so multi-line procs work at the prompt.
+func (f *Frontend) RunInteractive(r io.Reader, prompt func()) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), f.Opts.LineLimit+4096)
+	var pending strings.Builder
+	if prompt != nil {
+		prompt()
+	}
+	for sc.Scan() {
+		if pending.Len() > 0 {
+			pending.WriteByte('\n')
+		}
+		pending.WriteString(sc.Text())
+		script := pending.String()
+		if !balanced(script) {
+			continue
+		}
+		pending.Reset()
+		if strings.TrimSpace(script) == "" {
+			if prompt != nil {
+				prompt()
+			}
+			continue
+		}
+		res, err := f.W.Eval(script)
+		switch {
+		case err != nil:
+			fmt.Fprintf(f.Terminal, "error: %v\n", err)
+		case res != "":
+			fmt.Fprintln(f.Terminal, res)
+		}
+		if f.W.QuitRequested() {
+			return nil
+		}
+		if prompt != nil {
+			prompt()
+		}
+	}
+	return sc.Err()
+}
+
+// balanced reports whether braces/brackets balance outside of
+// backslash escapes (good enough for interactive continuation).
+func balanced(s string) bool {
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '{', '[':
+			depth++
+		case '}', ']':
+			depth--
+		}
+	}
+	return depth <= 0
+}

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package frontend
+
+import (
+	"errors"
+	"os"
+)
+
+// socketpair is unavailable on this platform; Spawn falls back to
+// pipes, mirroring the original's "support for PIPES ... is included
+// for systems without the socketpair system call".
+func socketpair() (parent, child *os.File, err error) {
+	return nil, nil, errors.New("socketpair not supported on this platform")
+}

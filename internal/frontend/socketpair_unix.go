@@ -1,0 +1,20 @@
+//go:build unix
+
+package frontend
+
+import (
+	"os"
+	"syscall"
+)
+
+// socketpair returns the two ends of an AF_UNIX stream socket pair —
+// the paper's preferred program-to-program transport.
+func socketpair() (parent, child *os.File, err error) {
+	fds, err := syscall.Socketpair(syscall.AF_UNIX, syscall.SOCK_STREAM, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	syscall.CloseOnExec(fds[0])
+	return os.NewFile(uintptr(fds[0]), "wafe-sock-parent"),
+		os.NewFile(uintptr(fds[1]), "wafe-sock-child"), nil
+}

@@ -1,0 +1,120 @@
+package frontend
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+)
+
+// IPC selects the program-to-program transport. The paper's
+// availability note: "The preferred program-to-program communication is
+// done via socketpair. Support for PIPES ... is included for systems
+// without the socketpair system call."
+type IPC int
+
+const (
+	// IPCSocketpair is the preferred transport where available.
+	IPCSocketpair IPC = iota
+	// IPCPipe is the portable fallback.
+	IPCPipe
+)
+
+// Child is a spawned application program with its channels.
+type Child struct {
+	Cmd *exec.Cmd
+
+	// Transport actually used (socketpair may fall back to pipes).
+	Transport IPC
+
+	massRead *os.File
+	conn     io.Closer // parent end of a socketpair transport, if any
+}
+
+// Spawn starts the application program as a subprocess of the frontend
+// with the preferred transport, falling back to pipes.
+func (f *Frontend) Spawn(program string, args []string) (*Child, error) {
+	return f.SpawnIPC(program, args, IPCSocketpair)
+}
+
+// SpawnIPC starts the application program with an explicit transport
+// and establishes the I/O channels of Figure 4: the child's stdout is
+// read for command lines, its stdin receives event messages, stderr
+// passes through, and fd 3 is the mass-transfer data channel.
+func (f *Frontend) SpawnIPC(program string, args []string, ipc IPC) (*Child, error) {
+	cmd := exec.Command(program, args...)
+	cmd.Stderr = os.Stderr
+
+	var appOut io.Reader // child stdout → frontend
+	var appIn io.Writer  // frontend → child stdin
+	var closeAfterStart []*os.File
+	var parentConn io.Closer
+	used := IPCPipe
+
+	if ipc == IPCSocketpair {
+		if parentEnd, childEnd, err := socketpair(); err == nil {
+			// One bidirectional socket carries both directions, dup'ed
+			// onto the child's stdin and stdout like the original.
+			cmd.Stdin = childEnd
+			cmd.Stdout = childEnd
+			appOut = parentEnd
+			appIn = parentEnd
+			parentConn = parentEnd
+			closeAfterStart = append(closeAfterStart, childEnd)
+			used = IPCSocketpair
+		}
+		// On failure fall through to pipes below.
+	}
+	if used == IPCPipe {
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return nil, fmt.Errorf("wafe: stdin pipe: %v", err)
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, fmt.Errorf("wafe: stdout pipe: %v", err)
+		}
+		appIn = stdin
+		appOut = stdout
+	}
+
+	massRead, massWrite, err := os.Pipe()
+	if err != nil {
+		return nil, fmt.Errorf("wafe: mass pipe: %v", err)
+	}
+	cmd.ExtraFiles = []*os.File{massWrite} // fd 3 in the child
+	if err := cmd.Start(); err != nil {
+		massRead.Close()
+		massWrite.Close()
+		for _, c := range closeAfterStart {
+			c.Close()
+		}
+		return nil, fmt.Errorf("wafe: cannot start %q: %v", program, err)
+	}
+	// The parent keeps neither the child's socket end nor the mass
+	// write end.
+	massWrite.Close()
+	for _, c := range closeAfterStart {
+		c.Close()
+	}
+	f.AttachApp(appOut, appIn)
+	f.AttachMass(massRead)
+	f.SendInitCom()
+	return &Child{Cmd: cmd, Transport: used, massRead: massRead, conn: parentConn}, nil
+}
+
+// Wait reaps the child.
+func (c *Child) Wait() error {
+	defer c.massRead.Close()
+	if c.conn != nil {
+		defer c.conn.Close()
+	}
+	return c.Cmd.Wait()
+}
+
+// Kill terminates the child.
+func (c *Child) Kill() {
+	if c.Cmd.Process != nil {
+		_ = c.Cmd.Process.Kill()
+	}
+}

@@ -1,0 +1,144 @@
+//go:build unix
+
+package frontend
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wafe/internal/core"
+)
+
+type lockedBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuf) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuf) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+func writeBackend(t *testing.T, script string) string {
+	t.Helper()
+	if _, err := os.Stat("/bin/sh"); err != nil {
+		t.Skip("no /bin/sh")
+	}
+	path := filepath.Join(t.TempDir(), "backend")
+	if err := os.WriteFile(path, []byte(script), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runToQuit(t *testing.T, w *core.Wafe) {
+	t.Helper()
+	done := make(chan int, 1)
+	go func() { done <- w.App.MainLoop() }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("main loop did not finish")
+	}
+}
+
+// TestSpawnSocketpairTransport: on unix the preferred transport must
+// actually be a socketpair, and the protocol must work over it.
+func TestSpawnSocketpairTransport(t *testing.T) {
+	backend := writeBackend(t, `#!/bin/sh
+echo '%label l topLevel label sock'
+echo '%realize'
+echo '%echo ping'
+while read line; do
+  case "$line" in ping) echo "pong over socketpair"; echo '%quit' ;; esac
+done
+`)
+	w := core.NewTest()
+	term := &lockedBuf{}
+	f := New(w, nil, term)
+	child, err := f.SpawnIPC(backend, nil, IPCSocketpair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.Transport != IPCSocketpair {
+		t.Fatalf("transport = %v, want socketpair", child.Transport)
+	}
+	runToQuit(t, w)
+	child.Kill()
+	_ = child.Wait()
+	if !strings.Contains(term.String(), "pong over socketpair") {
+		t.Errorf("terminal = %q", term.String())
+	}
+}
+
+// TestSpawnMassChannelFD3: the backend writes the data channel on fd 3,
+// as a real Wafe application does.
+func TestSpawnMassChannelFD3(t *testing.T) {
+	backend := writeBackend(t, `#!/bin/sh
+echo '%asciiText text topLevel editType edit'
+echo '%realize'
+echo '%setCommunicationVariable C 10 {sV text string $C; echo got-mass}'
+printf '0123456789' >&3
+while read line; do
+  case "$line" in got-mass) echo '%echo final [gV text string]' ;; final*) echo '%quit' ;; esac
+done
+`)
+	w := core.NewTest()
+	term := &lockedBuf{}
+	f := New(w, nil, term)
+	child, err := f.Spawn(backend, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runToQuit(t, w)
+	child.Kill()
+	_ = child.Wait()
+	// The loop has ended; reading the widget directly is safe.
+	if got := w.App.WidgetByName("text").Str("string"); got != "0123456789" {
+		t.Errorf("mass transfer over fd 3 = %q", got)
+	}
+}
+
+// TestSpawnInitCom: the InitCom resource reaches the backend first.
+func TestSpawnInitCom(t *testing.T) {
+	backend := writeBackend(t, `#!/bin/sh
+read first
+echo "boot: $first"
+echo '%quit'
+`)
+	w := core.NewTest()
+	_ = w.App.DB.Enter("*InitCom", "[myapp], widget_tree, read_loop.")
+	term := &lockedBuf{}
+	f := New(w, nil, term)
+	child, err := f.Spawn(backend, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runToQuit(t, w)
+	child.Kill()
+	_ = child.Wait()
+	if !strings.Contains(term.String(), "boot: [myapp], widget_tree, read_loop.") {
+		t.Errorf("InitCom not delivered: %q", term.String())
+	}
+}
+
+// TestSpawnMissingProgram: a startup failure is reported cleanly.
+func TestSpawnMissingProgram(t *testing.T) {
+	w := core.NewTest()
+	f := New(w, nil, &lockedBuf{})
+	if _, err := f.Spawn("/no/such/backend-program", nil); err == nil {
+		t.Fatal("expected spawn error")
+	}
+}

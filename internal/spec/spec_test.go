@@ -1,0 +1,191 @@
+package spec
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+)
+
+// paperClassExample is the first specification sample printed in the
+// paper.
+const paperClassExample = `~widgetClass
+XmCascadeButton
+#include <Xm/CascadeB.h>
+`
+
+// paperFuncExample is the second sample: a two-argument function.
+const paperFuncExample = `void
+XmCascadeButtonHighlight
+in: Widget
+in: Boolean
+`
+
+func TestParsePaperClassExample(t *testing.T) {
+	entries, err := Parse(paperClassExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	e := entries[0]
+	if e.Kind != "widgetClass" || e.ClassName != "XmCascadeButton" {
+		t.Errorf("entry = %+v", e)
+	}
+	if len(e.Includes) != 1 || e.Includes[0] != "<Xm/CascadeB.h>" {
+		t.Errorf("includes = %v", e.Includes)
+	}
+	// "The specification ... suffices to provide a mCascadeButton
+	// command in Wafe."
+	if e.CommandName() != "mCascadeButton" {
+		t.Errorf("command = %q", e.CommandName())
+	}
+}
+
+func TestParsePaperFuncExample(t *testing.T) {
+	entries, err := Parse(paperFuncExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	e := entries[0]
+	if e.Kind != "function" || e.CName != "XmCascadeButtonHighlight" || e.ReturnType != "void" {
+		t.Errorf("entry = %+v", e)
+	}
+	if len(e.Params) != 2 || e.Params[0].Type != "Widget" || e.Params[1].Type != "Boolean" {
+		t.Errorf("params = %+v", e.Params)
+	}
+	// "The specification below creates the Wafe command
+	// mCascadeButtonHighlight with two input arguments."
+	if e.CommandName() != "mCascadeButtonHighlight" {
+		t.Errorf("command = %q", e.CommandName())
+	}
+}
+
+func TestParseCommentsAndDocs(t *testing.T) {
+	entries, err := Parse(`! a comment block
+
+. Documentation line.
+void
+XtPopdown
+in: Widget
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Doc != "Documentation line." {
+		t.Errorf("entries = %+v", entries)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"~widgetClass",                      // missing name
+		"void\nXtFoo(\nin: Widget",          // paren in name
+		"void\nXtFoo\nsideways: Widget",     // bad direction
+		"void\nXtFoo\nin:",                  // empty type
+		"~widgetClass\nFoo\nnot-an-include", // junk in class block
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestGenerateGoCompilesSyntactically(t *testing.T) {
+	entries, err := Parse(paperClassExample + "\n" + paperFuncExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, st := GenerateGo("bindings", entries)
+	if st.WidgetClasses != 1 || st.Functions != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "gen.go", src, 0); err != nil {
+		t.Fatalf("generated code does not parse: %v\n%s", err, src)
+	}
+	// Generated function implements arity checking and dispatch.
+	if !strings.Contains(src, "CreateWidgetClass(\"XmCascadeButton\"") {
+		t.Error("widget dispatch missing")
+	}
+	if !strings.Contains(src, "CallFunction(\"XmCascadeButtonHighlight\"") {
+		t.Error("function dispatch missing")
+	}
+	if !strings.Contains(src, "wrong # args") {
+		t.Error("arity error messages missing")
+	}
+}
+
+func TestFullSpecFile(t *testing.T) {
+	data, err := os.ReadFile("../../specs/wafe.spec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Parse(string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 50 {
+		t.Errorf("spec has only %d entries", len(entries))
+	}
+	src, st := GenerateGo("bindings", entries)
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "gen.go", src, 0); err != nil {
+		t.Fatalf("full generated code does not parse: %v", err)
+	}
+	if st.GeneratedLines < 500 {
+		t.Errorf("generated only %d lines", st.GeneratedLines)
+	}
+	// Spot-check naming-rule outputs from the paper.
+	for _, want := range []string{"destroyWidget", "formAllowResize", "mCommandAppendValue", "toggle", "mCascadeButton", "asciiText"} {
+		found := false
+		for _, e := range entries {
+			if e.CommandName() == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("spec missing command %q", want)
+		}
+	}
+}
+
+func TestGenerateReference(t *testing.T) {
+	entries, _ := Parse(paperClassExample + "\n" + paperFuncExample)
+	ref := GenerateReference(entries)
+	if !strings.Contains(ref, "mCascadeButton Name Father") {
+		t.Errorf("reference missing creation command:\n%s", ref)
+	}
+	if !strings.Contains(ref, "mCascadeButtonHighlight widget boolean") {
+		t.Errorf("reference missing function:\n%s", ref)
+	}
+	tex := GenerateTeX(entries)
+	if !strings.Contains(tex, "\\section*{Wafe Short Reference}") {
+		t.Error("TeX preamble missing")
+	}
+	if !strings.Contains(tex, "XmCascadeButtonHighlight") {
+		t.Error("TeX body missing function")
+	}
+}
+
+func TestNamingRuleAgreement(t *testing.T) {
+	// The generator's private naming copy must follow the same rule as
+	// the runtime (internal/core); checked on the documented examples.
+	cases := map[string]string{
+		"XtDestroyWidget":      "destroyWidget",
+		"XawFormAllowResize":   "formAllowResize",
+		"XmCommandAppendValue": "mCommandAppendValue",
+	}
+	for in, want := range cases {
+		if got := commandName(in); got != want {
+			t.Errorf("commandName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

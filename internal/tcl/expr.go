@@ -1,0 +1,950 @@
+package tcl
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ExprEval evaluates a Tcl expression string. Variable ($name) and
+// command ([cmd]) references inside the expression are resolved against
+// the interpreter, which is what makes braced expr arguments work:
+// expr {$i < 10}.
+func (in *Interp) ExprEval(s string) (string, error) {
+	e := &exprParser{in: in, src: s}
+	v, err := e.parseTernary()
+	if err != nil {
+		return "", err
+	}
+	e.skipSpace()
+	if !e.atEnd() {
+		return "", NewError("syntax error in expression %q", s)
+	}
+	return v.String(), nil
+}
+
+// ExprBool evaluates an expression and interprets the result as a
+// boolean (used by if, while, for).
+func (in *Interp) ExprBool(s string) (bool, error) {
+	r, err := in.ExprEval(s)
+	if err != nil {
+		return false, err
+	}
+	return ParseBool(r)
+}
+
+// ParseBool interprets a Tcl boolean string: numbers (non-zero = true)
+// or the words true/false/yes/no/on/off.
+func ParseBool(s string) (bool, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	switch t {
+	case "1", "true", "yes", "on", "t", "y":
+		return true, nil
+	case "0", "false", "no", "off", "f", "n":
+		return false, nil
+	}
+	if iv, err := strconv.ParseInt(t, 0, 64); err == nil {
+		return iv != 0, nil
+	}
+	if fv, err := strconv.ParseFloat(t, 64); err == nil {
+		return fv != 0, nil
+	}
+	return false, NewError("expected boolean value but got %q", s)
+}
+
+type valKind int
+
+const (
+	vInt valKind = iota
+	vFloat
+	vString
+)
+
+type exprVal struct {
+	kind valKind
+	i    int64
+	f    float64
+	s    string
+}
+
+func intVal(i int64) exprVal     { return exprVal{kind: vInt, i: i} }
+func floatVal(f float64) exprVal { return exprVal{kind: vFloat, f: f} }
+func strVal(s string) exprVal    { return exprVal{kind: vString, s: s} }
+
+func (v exprVal) String() string {
+	switch v.kind {
+	case vInt:
+		return strconv.FormatInt(v.i, 10)
+	case vFloat:
+		return formatFloat(v.f)
+	default:
+		return v.s
+	}
+}
+
+// formatFloat renders like Tcl: always with a decimal point or exponent
+// so the value round-trips as a float.
+func formatFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return "Inf"
+	}
+	if math.IsInf(f, -1) {
+		return "-Inf"
+	}
+	s := strconv.FormatFloat(f, 'g', 12, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+func (v exprVal) isNumeric() bool { return v.kind != vString }
+
+func (v exprVal) asFloat() float64 {
+	switch v.kind {
+	case vInt:
+		return float64(v.i)
+	case vFloat:
+		return v.f
+	}
+	return 0
+}
+
+func (v exprVal) asBool() (bool, error) {
+	switch v.kind {
+	case vInt:
+		return v.i != 0, nil
+	case vFloat:
+		return v.f != 0, nil
+	default:
+		return ParseBool(v.s)
+	}
+}
+
+// coerce attempts to turn a string value into a number.
+func coerce(v exprVal) exprVal {
+	if v.kind != vString {
+		return v
+	}
+	t := strings.TrimSpace(v.s)
+	if t == "" {
+		return v
+	}
+	if iv, err := strconv.ParseInt(t, 0, 64); err == nil {
+		return intVal(iv)
+	}
+	if fv, err := strconv.ParseFloat(t, 64); err == nil {
+		return floatVal(fv)
+	}
+	return v
+}
+
+type exprParser struct {
+	in  *Interp
+	src string
+	pos int
+	// skipDepth > 0 means we are parsing an operand that will not be
+	// used (short-circuited && / || or untaken ternary branch); variable
+	// and command substitution is suppressed and operator errors ignored.
+	skipDepth int
+}
+
+func (e *exprParser) atEnd() bool { return e.pos >= len(e.src) }
+
+func (e *exprParser) skipSpace() {
+	for !e.atEnd() {
+		c := e.src[e.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			e.pos++
+			continue
+		}
+		return
+	}
+}
+
+func (e *exprParser) peekOp() string {
+	e.skipSpace()
+	if e.atEnd() {
+		return ""
+	}
+	two := ""
+	if e.pos+2 <= len(e.src) {
+		two = e.src[e.pos : e.pos+2]
+	}
+	switch two {
+	case "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "**":
+		return two
+	}
+	c := e.src[e.pos]
+	switch c {
+	case '+', '-', '*', '/', '%', '<', '>', '&', '|', '^', '?', ':', '!', '~':
+		return string(c)
+	}
+	// word operators eq/ne (string comparison)
+	if e.pos+2 <= len(e.src) {
+		w := e.src[e.pos:min(e.pos+2, len(e.src))]
+		if (w == "eq" || w == "ne") && (e.pos+2 == len(e.src) || !isVarNameChar(e.src[e.pos+2])) {
+			return w
+		}
+	}
+	return ""
+}
+
+func (e *exprParser) consume(op string) {
+	e.skipSpace()
+	e.pos += len(op)
+}
+
+func (e *exprParser) parseTernary() (exprVal, error) {
+	cond, err := e.parseBinary(0)
+	if err != nil {
+		return exprVal{}, err
+	}
+	if e.peekOp() == "?" {
+		e.consume("?")
+		b, err := cond.asBool()
+		if err != nil {
+			return exprVal{}, err
+		}
+		if !b {
+			e.skipDepth++
+		}
+		thenV, err := e.parseTernary()
+		if !b {
+			e.skipDepth--
+		}
+		if err != nil {
+			return exprVal{}, err
+		}
+		if e.peekOp() != ":" {
+			return exprVal{}, NewError("missing : in ternary expression")
+		}
+		e.consume(":")
+		if b {
+			e.skipDepth++
+		}
+		elseV, err := e.parseTernary()
+		if b {
+			e.skipDepth--
+		}
+		if err != nil {
+			return exprVal{}, err
+		}
+		if b {
+			return thenV, nil
+		}
+		return elseV, nil
+	}
+	return cond, nil
+}
+
+// binary operator precedence levels, low to high.
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!=", "eq", "ne"},
+	{"<", ">", "<=", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+	{"**"},
+}
+
+func (e *exprParser) parseBinary(level int) (exprVal, error) {
+	if level >= len(precLevels) {
+		return e.parseUnary()
+	}
+	left, err := e.parseBinary(level + 1)
+	if err != nil {
+		return exprVal{}, err
+	}
+	for {
+		op := e.peekOp()
+		found := false
+		for _, cand := range precLevels[level] {
+			if op == cand {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return left, nil
+		}
+		e.consume(op)
+		// Short-circuit for && and ||: the right operand is parsed but
+		// not evaluated when the left side already decides the result.
+		if op == "&&" || op == "||" {
+			lb, err := left.asBool()
+			if err != nil {
+				return exprVal{}, err
+			}
+			decided := (op == "&&" && !lb) || (op == "||" && lb)
+			if decided {
+				e.skipDepth++
+			}
+			right, err := e.parseBinary(level + 1)
+			if decided {
+				e.skipDepth--
+				if err != nil {
+					return exprVal{}, err
+				}
+				left = intVal(b2i(lb))
+				continue
+			}
+			if err != nil {
+				return exprVal{}, err
+			}
+			rb, err := right.asBool()
+			if err != nil {
+				return exprVal{}, err
+			}
+			var r bool
+			if op == "&&" {
+				r = lb && rb
+			} else {
+				r = lb || rb
+			}
+			left = intVal(b2i(r))
+			continue
+		}
+		right, err := e.parseBinary(level + 1)
+		if err != nil {
+			return exprVal{}, err
+		}
+		left, err = applyBinary(op, left, right)
+		if err != nil {
+			if e.skipDepth > 0 {
+				left = intVal(0)
+				continue
+			}
+			return exprVal{}, err
+		}
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func applyBinary(op string, l, r exprVal) (exprVal, error) {
+	switch op {
+	case "eq":
+		return intVal(b2i(l.String() == r.String())), nil
+	case "ne":
+		return intVal(b2i(l.String() != r.String())), nil
+	}
+	lc, rc := coerce(l), coerce(r)
+	// String comparison when either side is non-numeric.
+	if !lc.isNumeric() || !rc.isNumeric() {
+		ls, rs := l.String(), r.String()
+		switch op {
+		case "==":
+			return intVal(b2i(ls == rs)), nil
+		case "!=":
+			return intVal(b2i(ls != rs)), nil
+		case "<":
+			return intVal(b2i(ls < rs)), nil
+		case ">":
+			return intVal(b2i(ls > rs)), nil
+		case "<=":
+			return intVal(b2i(ls <= rs)), nil
+		case ">=":
+			return intVal(b2i(ls >= rs)), nil
+		case "+":
+			return exprVal{}, NewError("can't use non-numeric string %q as operand of %q", nonNumericOf(lc, rc), op)
+		default:
+			return exprVal{}, NewError("can't use non-numeric string %q as operand of %q", nonNumericOf(lc, rc), op)
+		}
+	}
+	bothInt := lc.kind == vInt && rc.kind == vInt
+	intOnly := func() error {
+		if !bothInt {
+			return NewError("can't use floating-point value as operand of %q", op)
+		}
+		return nil
+	}
+	switch op {
+	case "+":
+		if bothInt {
+			return intVal(lc.i + rc.i), nil
+		}
+		return floatVal(lc.asFloat() + rc.asFloat()), nil
+	case "-":
+		if bothInt {
+			return intVal(lc.i - rc.i), nil
+		}
+		return floatVal(lc.asFloat() - rc.asFloat()), nil
+	case "*":
+		if bothInt {
+			return intVal(lc.i * rc.i), nil
+		}
+		return floatVal(lc.asFloat() * rc.asFloat()), nil
+	case "/":
+		if bothInt {
+			if rc.i == 0 {
+				return exprVal{}, NewError("divide by zero")
+			}
+			// Tcl integer division truncates toward negative infinity.
+			q := lc.i / rc.i
+			if (lc.i%rc.i != 0) && ((lc.i < 0) != (rc.i < 0)) {
+				q--
+			}
+			return intVal(q), nil
+		}
+		if rc.asFloat() == 0 {
+			return exprVal{}, NewError("divide by zero")
+		}
+		return floatVal(lc.asFloat() / rc.asFloat()), nil
+	case "%":
+		if err := intOnly(); err != nil {
+			return exprVal{}, err
+		}
+		if rc.i == 0 {
+			return exprVal{}, NewError("divide by zero")
+		}
+		m := lc.i % rc.i
+		if m != 0 && ((m < 0) != (rc.i < 0)) {
+			m += rc.i
+		}
+		return intVal(m), nil
+	case "**":
+		if bothInt && rc.i >= 0 {
+			res := int64(1)
+			for k := int64(0); k < rc.i; k++ {
+				res *= lc.i
+			}
+			return intVal(res), nil
+		}
+		return floatVal(math.Pow(lc.asFloat(), rc.asFloat())), nil
+	case "<<":
+		if err := intOnly(); err != nil {
+			return exprVal{}, err
+		}
+		return intVal(lc.i << uint(rc.i)), nil
+	case ">>":
+		if err := intOnly(); err != nil {
+			return exprVal{}, err
+		}
+		return intVal(lc.i >> uint(rc.i)), nil
+	case "&":
+		if err := intOnly(); err != nil {
+			return exprVal{}, err
+		}
+		return intVal(lc.i & rc.i), nil
+	case "|":
+		if err := intOnly(); err != nil {
+			return exprVal{}, err
+		}
+		return intVal(lc.i | rc.i), nil
+	case "^":
+		if err := intOnly(); err != nil {
+			return exprVal{}, err
+		}
+		return intVal(lc.i ^ rc.i), nil
+	case "==":
+		if bothInt {
+			return intVal(b2i(lc.i == rc.i)), nil
+		}
+		return intVal(b2i(lc.asFloat() == rc.asFloat())), nil
+	case "!=":
+		if bothInt {
+			return intVal(b2i(lc.i != rc.i)), nil
+		}
+		return intVal(b2i(lc.asFloat() != rc.asFloat())), nil
+	case "<":
+		if bothInt {
+			return intVal(b2i(lc.i < rc.i)), nil
+		}
+		return intVal(b2i(lc.asFloat() < rc.asFloat())), nil
+	case ">":
+		if bothInt {
+			return intVal(b2i(lc.i > rc.i)), nil
+		}
+		return intVal(b2i(lc.asFloat() > rc.asFloat())), nil
+	case "<=":
+		if bothInt {
+			return intVal(b2i(lc.i <= rc.i)), nil
+		}
+		return intVal(b2i(lc.asFloat() <= rc.asFloat())), nil
+	case ">=":
+		if bothInt {
+			return intVal(b2i(lc.i >= rc.i)), nil
+		}
+		return intVal(b2i(lc.asFloat() >= rc.asFloat())), nil
+	}
+	return exprVal{}, NewError("unknown operator %q", op)
+}
+
+func nonNumericOf(l, r exprVal) string {
+	if !l.isNumeric() {
+		return l.s
+	}
+	return r.s
+}
+
+func (e *exprParser) parseUnary() (exprVal, error) {
+	e.skipSpace()
+	if e.atEnd() {
+		return exprVal{}, NewError("premature end of expression")
+	}
+	switch e.src[e.pos] {
+	case '-':
+		e.pos++
+		v, err := e.parseUnary()
+		if err != nil {
+			return exprVal{}, err
+		}
+		v = coerce(v)
+		switch v.kind {
+		case vInt:
+			return intVal(-v.i), nil
+		case vFloat:
+			return floatVal(-v.f), nil
+		}
+		return exprVal{}, NewError("can't negate non-numeric %q", v.s)
+	case '+':
+		e.pos++
+		v, err := e.parseUnary()
+		if err != nil {
+			return exprVal{}, err
+		}
+		v = coerce(v)
+		if !v.isNumeric() {
+			return exprVal{}, NewError("can't use non-numeric string %q as operand of \"+\"", v.s)
+		}
+		return v, nil
+	case '!':
+		e.pos++
+		v, err := e.parseUnary()
+		if err != nil {
+			return exprVal{}, err
+		}
+		b, err := v.asBool()
+		if err != nil {
+			b2, err2 := coerce(v).asBool()
+			if err2 != nil {
+				return exprVal{}, err
+			}
+			b = b2
+		}
+		return intVal(b2i(!b)), nil
+	case '~':
+		e.pos++
+		v, err := e.parseUnary()
+		if err != nil {
+			return exprVal{}, err
+		}
+		v = coerce(v)
+		if v.kind != vInt {
+			return exprVal{}, NewError("can't use non-integer as operand of \"~\"")
+		}
+		return intVal(^v.i), nil
+	}
+	return e.parsePrimary()
+}
+
+func (e *exprParser) parsePrimary() (exprVal, error) {
+	e.skipSpace()
+	if e.atEnd() {
+		return exprVal{}, NewError("premature end of expression")
+	}
+	c := e.src[e.pos]
+	switch {
+	case c == '(':
+		e.pos++
+		v, err := e.parseTernary()
+		if err != nil {
+			return exprVal{}, err
+		}
+		e.skipSpace()
+		if e.atEnd() || e.src[e.pos] != ')' {
+			return exprVal{}, NewError("missing close parenthesis")
+		}
+		e.pos++
+		return v, nil
+	case c == '$':
+		p := &parser{src: e.src, pos: e.pos}
+		t, err := p.parseVarToken()
+		if err != nil {
+			return exprVal{}, &Error{Code: CodeError, Value: err.Error()}
+		}
+		e.pos = p.pos
+		if e.skipDepth > 0 {
+			return intVal(0), nil
+		}
+		s, err := e.in.substToken(t)
+		if err != nil {
+			return exprVal{}, err
+		}
+		return coerce(strVal(s)), nil
+	case c == '[':
+		p := &parser{src: e.src, pos: e.pos}
+		t, err := p.parseCommandToken()
+		if err != nil {
+			return exprVal{}, &Error{Code: CodeError, Value: err.Error()}
+		}
+		e.pos = p.pos
+		if e.skipDepth > 0 {
+			return intVal(0), nil
+		}
+		s, err := e.in.Eval(t.text)
+		if err != nil {
+			return exprVal{}, err
+		}
+		return coerce(strVal(s)), nil
+	case c == '"':
+		p := &parser{src: e.src, pos: e.pos}
+		w, err := p.parseQuotedWordForExpr()
+		if err != nil {
+			return exprVal{}, &Error{Code: CodeError, Value: err.Error()}
+		}
+		e.pos = p.pos
+		s, err := e.in.substWord(w)
+		if err != nil {
+			return exprVal{}, err
+		}
+		return strVal(s), nil
+	case c == '{':
+		p := &parser{src: e.src, pos: e.pos}
+		w, err := p.parseBracedWordForExpr()
+		if err != nil {
+			return exprVal{}, &Error{Code: CodeError, Value: err.Error()}
+		}
+		e.pos = p.pos
+		return strVal(w), nil
+	case c >= '0' && c <= '9' || c == '.':
+		return e.parseNumber()
+	default:
+		// Function call or bareword boolean.
+		start := e.pos
+		for !e.atEnd() && (isVarNameChar(e.src[e.pos])) {
+			e.pos++
+		}
+		if e.pos == start {
+			return exprVal{}, NewError("syntax error in expression near %q", e.src[e.pos:])
+		}
+		name := e.src[start:e.pos]
+		e.skipSpace()
+		if !e.atEnd() && e.src[e.pos] == '(' {
+			return e.parseFuncCall(name)
+		}
+		switch strings.ToLower(name) {
+		case "true", "yes", "on":
+			return intVal(1), nil
+		case "false", "no", "off":
+			return intVal(0), nil
+		case "inf":
+			return floatVal(math.Inf(1)), nil
+		case "nan":
+			return floatVal(math.NaN()), nil
+		}
+		return exprVal{}, NewError("unknown function or bareword %q in expression", name)
+	}
+}
+
+func (e *exprParser) parseNumber() (exprVal, error) {
+	start := e.pos
+	n := len(e.src)
+	isFloat := false
+	if e.pos+1 < n && e.src[e.pos] == '0' && (e.src[e.pos+1] == 'x' || e.src[e.pos+1] == 'X') {
+		e.pos += 2
+		for e.pos < n && hexVal(e.src[e.pos]) >= 0 {
+			e.pos++
+		}
+		iv, err := strconv.ParseInt(e.src[start:e.pos], 0, 64)
+		if err != nil {
+			return exprVal{}, NewError("bad hex number %q", e.src[start:e.pos])
+		}
+		return intVal(iv), nil
+	}
+	for e.pos < n {
+		c := e.src[e.pos]
+		if c >= '0' && c <= '9' {
+			e.pos++
+			continue
+		}
+		if c == '.' {
+			isFloat = true
+			e.pos++
+			continue
+		}
+		if c == 'e' || c == 'E' {
+			// exponent
+			if e.pos+1 < n && (e.src[e.pos+1] == '+' || e.src[e.pos+1] == '-' || (e.src[e.pos+1] >= '0' && e.src[e.pos+1] <= '9')) {
+				isFloat = true
+				e.pos++
+				if e.src[e.pos] == '+' || e.src[e.pos] == '-' {
+					e.pos++
+				}
+				continue
+			}
+			break
+		}
+		break
+	}
+	text := e.src[start:e.pos]
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return exprVal{}, NewError("bad number %q", text)
+		}
+		return floatVal(f), nil
+	}
+	// Leading zero means octal in classic Tcl.
+	if len(text) > 1 && text[0] == '0' {
+		iv, err := strconv.ParseInt(text, 8, 64)
+		if err == nil {
+			return intVal(iv), nil
+		}
+	}
+	iv, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return exprVal{}, NewError("bad number %q", text)
+	}
+	return intVal(iv), nil
+}
+
+func (e *exprParser) parseFuncCall(name string) (exprVal, error) {
+	e.pos++ // consume (
+	var args []exprVal
+	e.skipSpace()
+	if !e.atEnd() && e.src[e.pos] == ')' {
+		e.pos++
+	} else {
+		for {
+			v, err := e.parseTernary()
+			if err != nil {
+				return exprVal{}, err
+			}
+			args = append(args, v)
+			e.skipSpace()
+			if e.atEnd() {
+				return exprVal{}, NewError("missing ) in function call")
+			}
+			if e.src[e.pos] == ',' {
+				e.pos++
+				continue
+			}
+			if e.src[e.pos] == ')' {
+				e.pos++
+				break
+			}
+			return exprVal{}, NewError("syntax error in function arguments")
+		}
+	}
+	return applyFunc(name, args)
+}
+
+func applyFunc(name string, args []exprVal) (exprVal, error) {
+	need := func(n int) error {
+		if len(args) != n {
+			return NewError("function %q requires %d argument(s)", name, n)
+		}
+		return nil
+	}
+	f1 := func(fn func(float64) float64) (exprVal, error) {
+		if err := need(1); err != nil {
+			return exprVal{}, err
+		}
+		a := coerce(args[0])
+		if !a.isNumeric() {
+			return exprVal{}, NewError("non-numeric argument to %q", name)
+		}
+		return floatVal(fn(a.asFloat())), nil
+	}
+	switch name {
+	case "abs":
+		if err := need(1); err != nil {
+			return exprVal{}, err
+		}
+		a := coerce(args[0])
+		if a.kind == vInt {
+			if a.i < 0 {
+				return intVal(-a.i), nil
+			}
+			return a, nil
+		}
+		return floatVal(math.Abs(a.asFloat())), nil
+	case "int":
+		if err := need(1); err != nil {
+			return exprVal{}, err
+		}
+		a := coerce(args[0])
+		if !a.isNumeric() {
+			return exprVal{}, NewError("non-numeric argument to int()")
+		}
+		return intVal(int64(a.asFloat())), nil
+	case "round":
+		if err := need(1); err != nil {
+			return exprVal{}, err
+		}
+		a := coerce(args[0])
+		if !a.isNumeric() {
+			return exprVal{}, NewError("non-numeric argument to round()")
+		}
+		return intVal(int64(math.Round(a.asFloat()))), nil
+	case "double":
+		if err := need(1); err != nil {
+			return exprVal{}, err
+		}
+		a := coerce(args[0])
+		if !a.isNumeric() {
+			return exprVal{}, NewError("non-numeric argument to double()")
+		}
+		return floatVal(a.asFloat()), nil
+	case "sqrt":
+		return f1(math.Sqrt)
+	case "sin":
+		return f1(math.Sin)
+	case "cos":
+		return f1(math.Cos)
+	case "tan":
+		return f1(math.Tan)
+	case "asin":
+		return f1(math.Asin)
+	case "acos":
+		return f1(math.Acos)
+	case "atan":
+		return f1(math.Atan)
+	case "sinh":
+		return f1(math.Sinh)
+	case "cosh":
+		return f1(math.Cosh)
+	case "tanh":
+		return f1(math.Tanh)
+	case "exp":
+		return f1(math.Exp)
+	case "log":
+		return f1(math.Log)
+	case "log10":
+		return f1(math.Log10)
+	case "floor":
+		return f1(math.Floor)
+	case "ceil":
+		return f1(math.Ceil)
+	case "atan2":
+		if err := need(2); err != nil {
+			return exprVal{}, err
+		}
+		return floatVal(math.Atan2(coerce(args[0]).asFloat(), coerce(args[1]).asFloat())), nil
+	case "pow":
+		if err := need(2); err != nil {
+			return exprVal{}, err
+		}
+		return floatVal(math.Pow(coerce(args[0]).asFloat(), coerce(args[1]).asFloat())), nil
+	case "fmod":
+		if err := need(2); err != nil {
+			return exprVal{}, err
+		}
+		return floatVal(math.Mod(coerce(args[0]).asFloat(), coerce(args[1]).asFloat())), nil
+	case "hypot":
+		if err := need(2); err != nil {
+			return exprVal{}, err
+		}
+		return floatVal(math.Hypot(coerce(args[0]).asFloat(), coerce(args[1]).asFloat())), nil
+	case "min":
+		if len(args) == 0 {
+			return exprVal{}, NewError("min() requires at least one argument")
+		}
+		best := coerce(args[0])
+		for _, a := range args[1:] {
+			c := coerce(a)
+			if c.asFloat() < best.asFloat() {
+				best = c
+			}
+		}
+		return best, nil
+	case "max":
+		if len(args) == 0 {
+			return exprVal{}, NewError("max() requires at least one argument")
+		}
+		best := coerce(args[0])
+		for _, a := range args[1:] {
+			c := coerce(a)
+			if c.asFloat() > best.asFloat() {
+				best = c
+			}
+		}
+		return best, nil
+	}
+	return exprVal{}, NewError("unknown math function %q", name)
+}
+
+// parseQuotedWordForExpr parses a quoted word but allows arbitrary
+// following characters (expr context, not command context).
+func (p *parser) parseQuotedWordForExpr() (word, error) {
+	p.pos++ // consume opening quote
+	var toks []token
+	var lit strings.Builder
+	flush := func() {
+		if lit.Len() > 0 {
+			toks = append(toks, token{kind: tokText, text: lit.String()})
+			lit.Reset()
+		}
+	}
+	for !p.atEnd() {
+		c := p.peek()
+		switch c {
+		case '"':
+			p.pos++
+			flush()
+			return word{tokens: toks}, nil
+		case '\\':
+			s, err := p.parseBackslash()
+			if err != nil {
+				return word{}, err
+			}
+			lit.WriteString(s)
+		case '$':
+			flush()
+			t, err := p.parseVarToken()
+			if err != nil {
+				return word{}, err
+			}
+			toks = append(toks, t)
+		case '[':
+			flush()
+			t, err := p.parseCommandToken()
+			if err != nil {
+				return word{}, err
+			}
+			toks = append(toks, t)
+		default:
+			lit.WriteByte(c)
+			p.pos++
+		}
+	}
+	return word{}, fmt.Errorf("missing closing quote")
+}
+
+// parseBracedWordForExpr parses {literal} in expr context, returning the
+// raw content.
+func (p *parser) parseBracedWordForExpr() (string, error) {
+	depth := 0
+	i := p.pos
+	start := p.pos + 1
+	for i < len(p.src) {
+		switch p.src[i] {
+		case '\\':
+			i++
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth == 0 {
+				content := p.src[start:i]
+				p.pos = i + 1
+				return content, nil
+			}
+		}
+		i++
+	}
+	return "", fmt.Errorf("missing close-brace")
+}

@@ -1,0 +1,593 @@
+package tcl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Code is a Tcl completion code. Values match Tcl's catch numbering.
+type Code int
+
+const (
+	CodeOK       Code = 0
+	CodeError    Code = 1
+	CodeReturn   Code = 2
+	CodeBreak    Code = 3
+	CodeContinue Code = 4
+	// CodeExit signals that the script called exit; embedders terminate
+	// their event loop (rather than the process) when they see it.
+	CodeExit Code = 5
+)
+
+// IsExit reports whether err is a Tcl exit request and returns the exit
+// status if so.
+func IsExit(err error) (int, bool) {
+	te, ok := err.(*Error)
+	if !ok || te.Code != CodeExit {
+		return 0, false
+	}
+	n := 0
+	fmt.Sscanf(te.Value, "%d", &n)
+	return n, true
+}
+
+// Error is the error type produced by interpreter evaluation. It carries
+// the Tcl completion code so that flow-control commands (break, continue,
+// return) propagate through Go call chains, exactly as Tcl completion
+// codes propagate through the C call chain in the original.
+type Error struct {
+	Code  Code
+	Value string // error message (CodeError) or return value (CodeReturn)
+}
+
+func (e *Error) Error() string { return e.Value }
+
+// NewError returns a plain Tcl error with the given message.
+func NewError(format string, args ...any) *Error {
+	return &Error{Code: CodeError, Value: fmt.Sprintf(format, args...)}
+}
+
+var (
+	errBreak    = &Error{Code: CodeBreak, Value: "invoked \"break\" outside of a loop"}
+	errContinue = &Error{Code: CodeContinue, Value: "invoked \"continue\" outside of a loop"}
+)
+
+// CommandFunc is the Go signature of a Tcl command. argv[0] is the
+// command name; the remaining elements are fully substituted argument
+// strings. Returning a non-nil error aborts evaluation unless a caller
+// (catch, loops) intercepts the completion code.
+type CommandFunc func(in *Interp, argv []string) (string, error)
+
+// Proc is a user-defined procedure created by the proc command.
+type Proc struct {
+	Name string
+	Args []ProcArg
+	Body string
+}
+
+// ProcArg is one formal parameter of a proc, with an optional default.
+type ProcArg struct {
+	Name       string
+	Default    string
+	HasDefault bool
+}
+
+// variable holds a scalar or associative-array value. A variable with a
+// non-nil link is an alias created by upvar/global.
+type variable struct {
+	scalar  string
+	arr     map[string]string
+	isArray bool
+	link    *variable
+}
+
+func (v *variable) resolve() *variable {
+	for v.link != nil {
+		v = v.link
+	}
+	return v
+}
+
+// frame is one procedure call frame.
+type frame struct {
+	vars map[string]*variable
+	// proc is the procedure executing in this frame, nil for the global frame.
+	proc *Proc
+}
+
+// Interp is a Tcl interpreter instance. It is not safe for concurrent
+// use; like Xt itself, Wafe is single threaded and funnels all work
+// through one event loop.
+type Interp struct {
+	commands map[string]CommandFunc
+	procs    map[string]*Proc
+	frames   []*frame
+
+	// Unknown, when non-nil, is invoked for undefined command names,
+	// mirroring Tcl's unknown mechanism.
+	Unknown CommandFunc
+
+	// Stdout receives output of puts/echo. Defaults to an internal
+	// buffer accessible via Output; the Wafe frontend points it at the
+	// real stdout or the backend pipe.
+	Stdout func(line string)
+
+	output strings.Builder
+
+	// maxNesting guards against runaway recursion.
+	nesting    int
+	maxNesting int
+
+	// chans holds open file channels (the open/gets/close commands).
+	chans *channelTable
+
+	// errorUnwinding marks that errorInfo is being accumulated for the
+	// currently-propagating error.
+	errorUnwinding bool
+}
+
+// New creates an interpreter with the standard command set registered.
+func New() *Interp {
+	in := &Interp{
+		commands:   make(map[string]CommandFunc),
+		procs:      make(map[string]*Proc),
+		frames:     []*frame{{vars: make(map[string]*variable)}},
+		maxNesting: 1000,
+	}
+	in.Stdout = func(line string) {
+		in.output.WriteString(line)
+		in.output.WriteByte('\n')
+	}
+	registerCoreCommands(in)
+	registerStringCommands(in)
+	registerListCommands(in)
+	registerIOCommands(in)
+	return in
+}
+
+// Output returns and clears text accumulated by puts/echo when Stdout
+// has not been redirected.
+func (in *Interp) Output() string {
+	s := in.output.String()
+	in.output.Reset()
+	return s
+}
+
+// RegisterCommand binds name to fn, replacing any previous binding.
+func (in *Interp) RegisterCommand(name string, fn CommandFunc) {
+	in.commands[name] = fn
+}
+
+// UnregisterCommand removes a command binding.
+func (in *Interp) UnregisterCommand(name string) {
+	delete(in.commands, name)
+	delete(in.procs, name)
+}
+
+// HasCommand reports whether name is a registered command or proc.
+func (in *Interp) HasCommand(name string) bool {
+	_, ok := in.commands[name]
+	return ok
+}
+
+// Command returns the registered implementation of a command, allowing
+// embedders to wrap or chain it.
+func (in *Interp) Command(name string) (CommandFunc, bool) {
+	fn, ok := in.commands[name]
+	return fn, ok
+}
+
+// CommandNames returns all registered command names, sorted.
+func (in *Interp) CommandNames() []string {
+	names := make([]string, 0, len(in.commands))
+	for n := range in.commands {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (in *Interp) currentFrame() *frame { return in.frames[len(in.frames)-1] }
+
+func (in *Interp) globalFrame() *frame { return in.frames[0] }
+
+// Level returns the current call-frame depth (0 = global).
+func (in *Interp) Level() int { return len(in.frames) - 1 }
+
+// splitArrayRef splits "name(index)" into (name, index, true); a plain
+// name returns ok=false.
+func splitArrayRef(name string) (base, idx string, ok bool) {
+	open := strings.IndexByte(name, '(')
+	if open >= 0 && strings.HasSuffix(name, ")") {
+		return name[:open], name[open+1 : len(name)-1], true
+	}
+	return name, "", false
+}
+
+// GetVar returns the value of a variable in the current frame. The name
+// may be of the form name(index) for array elements.
+func (in *Interp) GetVar(name string) (string, error) {
+	return in.getVarInFrame(in.currentFrame(), name)
+}
+
+func (in *Interp) getVarInFrame(f *frame, name string) (string, error) {
+	base, idx, isArr := splitArrayRef(name)
+	v, ok := f.vars[base]
+	if !ok {
+		return "", NewError("can't read %q: no such variable", name)
+	}
+	v = v.resolve()
+	if isArr {
+		if !v.isArray {
+			return "", NewError("can't read %q: variable isn't array", name)
+		}
+		val, ok := v.arr[idx]
+		if !ok {
+			return "", NewError("can't read %q: no such element in array", name)
+		}
+		return val, nil
+	}
+	if v.isArray {
+		return "", NewError("can't read %q: variable is array", name)
+	}
+	return v.scalar, nil
+}
+
+// SetVar sets a variable (or array element, for name(index)) in the
+// current frame.
+func (in *Interp) SetVar(name, value string) error {
+	return in.setVarInFrame(in.currentFrame(), name, value)
+}
+
+// SetGlobalVar sets a variable in the global frame regardless of the
+// current call depth.
+func (in *Interp) SetGlobalVar(name, value string) error {
+	return in.setVarInFrame(in.globalFrame(), name, value)
+}
+
+// GetGlobalVar reads a variable from the global frame.
+func (in *Interp) GetGlobalVar(name string) (string, error) {
+	return in.getVarInFrame(in.globalFrame(), name)
+}
+
+func (in *Interp) setVarInFrame(f *frame, name, value string) error {
+	base, idx, isArr := splitArrayRef(name)
+	v, ok := f.vars[base]
+	if !ok {
+		v = &variable{}
+		f.vars[base] = v
+	}
+	v = v.resolve()
+	if isArr {
+		if !v.isArray {
+			if v.scalar != "" {
+				return NewError("can't set %q: variable isn't array", name)
+			}
+			v.isArray = true
+			v.arr = make(map[string]string)
+		}
+		v.arr[idx] = value
+		return nil
+	}
+	if v.isArray {
+		return NewError("can't set %q: variable is array", name)
+	}
+	v.scalar = value
+	return nil
+}
+
+// UnsetVar removes a variable or array element from the current frame.
+func (in *Interp) UnsetVar(name string) error {
+	f := in.currentFrame()
+	base, idx, isArr := splitArrayRef(name)
+	v, ok := f.vars[base]
+	if !ok {
+		return NewError("can't unset %q: no such variable", name)
+	}
+	rv := v.resolve()
+	if isArr {
+		if !rv.isArray {
+			return NewError("can't unset %q: variable isn't array", name)
+		}
+		if _, ok := rv.arr[idx]; !ok {
+			return NewError("can't unset %q: no such element in array", name)
+		}
+		delete(rv.arr, idx)
+		return nil
+	}
+	delete(f.vars, base)
+	return nil
+}
+
+// VarExists reports whether a variable (or array element) exists.
+func (in *Interp) VarExists(name string) bool {
+	f := in.currentFrame()
+	base, idx, isArr := splitArrayRef(name)
+	v, ok := f.vars[base]
+	if !ok {
+		return false
+	}
+	v = v.resolve()
+	if isArr {
+		if !v.isArray {
+			return false
+		}
+		_, ok := v.arr[idx]
+		return ok
+	}
+	return true
+}
+
+// arrayVar returns the resolved variable for name if it is an array.
+func (in *Interp) arrayVar(name string) (*variable, bool) {
+	v, ok := in.currentFrame().vars[name]
+	if !ok {
+		return nil, false
+	}
+	v = v.resolve()
+	if !v.isArray {
+		return nil, false
+	}
+	return v, true
+}
+
+// linkVar makes localName in the current frame an alias for name in the
+// target frame (upvar/global).
+func (in *Interp) linkVar(target *frame, name, localName string) error {
+	base, _, isArr := splitArrayRef(name)
+	if isArr {
+		return NewError("can't upvar to array element %q", name)
+	}
+	tv, ok := target.vars[base]
+	if !ok {
+		tv = &variable{}
+		target.vars[base] = tv
+	}
+	in.currentFrame().vars[localName] = &variable{link: tv}
+	return nil
+}
+
+// Eval evaluates a script and returns the result of its last command.
+func (in *Interp) Eval(script string) (string, error) {
+	in.nesting++
+	defer func() { in.nesting-- }()
+	if in.nesting > in.maxNesting {
+		return "", NewError("too many nested calls to Eval (infinite loop?)")
+	}
+	if in.nesting == 1 {
+		// A fresh top-level evaluation starts a fresh traceback.
+		in.errorUnwinding = false
+	}
+	p := newParser(script)
+	result := ""
+	for {
+		cmd, err := p.nextCommand()
+		if err != nil {
+			return "", &Error{Code: CodeError, Value: err.Error()}
+		}
+		if cmd == nil {
+			return result, nil
+		}
+		argv, err := in.substWords(cmd.words)
+		if err != nil {
+			return "", err
+		}
+		if len(argv) == 0 {
+			continue
+		}
+		result, err = in.invoke(argv)
+		if err != nil {
+			if in.nesting == 1 {
+				// The error reached the top level: finish the
+				// traceback (or start it, for a top-level error).
+				in.recordErrorInfo(err, fmt.Sprintf("while executing %q", argv[0]))
+				in.errorUnwinding = false
+			}
+			return result, err
+		}
+	}
+}
+
+// EvalWords invokes a command given pre-substituted words, bypassing the
+// parser. Used by the Wafe layer for callbacks built programmatically.
+func (in *Interp) EvalWords(argv []string) (string, error) {
+	if len(argv) == 0 {
+		return "", nil
+	}
+	return in.invoke(argv)
+}
+
+func (in *Interp) invoke(argv []string) (string, error) {
+	name := argv[0]
+	if fn, ok := in.commands[name]; ok {
+		return fn(in, argv)
+	}
+	if in.Unknown != nil {
+		return in.Unknown(in, argv)
+	}
+	return "", NewError("invalid command name %q", name)
+}
+
+// substWords performs $, [] and backslash substitution on parsed words.
+func (in *Interp) substWords(words []word) ([]string, error) {
+	argv := make([]string, 0, len(words))
+	for _, w := range words {
+		s, err := in.substWord(w)
+		if err != nil {
+			return nil, err
+		}
+		argv = append(argv, s)
+	}
+	return argv, nil
+}
+
+func (in *Interp) substWord(w word) (string, error) {
+	if len(w.tokens) == 1 && w.tokens[0].kind == tokText {
+		return w.tokens[0].text, nil
+	}
+	var b strings.Builder
+	for _, t := range w.tokens {
+		s, err := in.substToken(t)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(s)
+	}
+	return b.String(), nil
+}
+
+func (in *Interp) substToken(t token) (string, error) {
+	switch t.kind {
+	case tokText:
+		return t.text, nil
+	case tokVar:
+		name := t.text
+		if t.hasIdx {
+			var idx strings.Builder
+			for _, it := range t.index {
+				s, err := in.substToken(it)
+				if err != nil {
+					return "", err
+				}
+				idx.WriteString(s)
+			}
+			name = name + "(" + idx.String() + ")"
+		}
+		return in.GetVar(name)
+	case tokCommand:
+		return in.Eval(t.text)
+	}
+	return "", NewError("internal: bad token kind")
+}
+
+// Subst performs Tcl substitution on a string without treating it as a
+// command (the subst command).
+func (in *Interp) Subst(s string) (string, error) {
+	p := newParser(s)
+	var b strings.Builder
+	for !p.atEnd() {
+		c := p.peek()
+		switch c {
+		case '\\':
+			r, err := p.parseBackslash()
+			if err != nil {
+				return "", &Error{Code: CodeError, Value: err.Error()}
+			}
+			b.WriteString(r)
+		case '$':
+			t, err := p.parseVarToken()
+			if err != nil {
+				return "", &Error{Code: CodeError, Value: err.Error()}
+			}
+			v, err := in.substToken(t)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(v)
+		case '[':
+			t, err := p.parseCommandToken()
+			if err != nil {
+				return "", &Error{Code: CodeError, Value: err.Error()}
+			}
+			v, err := in.Eval(t.text)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(v)
+		default:
+			b.WriteByte(c)
+			p.pos++
+		}
+	}
+	return b.String(), nil
+}
+
+// callProc pushes a frame, binds arguments and evaluates the proc body.
+// recordErrorInfo appends a stack-trace line to the errorInfo global,
+// as classic Tcl does while an error unwinds.
+func (in *Interp) recordErrorInfo(err error, context string) {
+	te, ok := err.(*Error)
+	if !ok || te.Code != CodeError {
+		return
+	}
+	cur, getErr := in.GetGlobalVar("errorInfo")
+	if getErr != nil || !in.errorUnwinding {
+		cur = te.Value
+		in.errorUnwinding = true
+	}
+	_ = in.SetGlobalVar("errorInfo", cur+"\n    "+context)
+}
+
+// ErrorInfo returns the traceback accumulated for the most recent
+// error (the errorInfo global).
+func (in *Interp) ErrorInfo() string {
+	v, err := in.GetGlobalVar("errorInfo")
+	if err != nil {
+		return ""
+	}
+	return v
+}
+
+func (in *Interp) callProc(p *Proc, argv []string) (string, error) {
+	f := &frame{vars: make(map[string]*variable), proc: p}
+	actual := argv[1:]
+	nFormal := len(p.Args)
+	varArgs := nFormal > 0 && p.Args[nFormal-1].Name == "args"
+	for i, formal := range p.Args {
+		if varArgs && i == nFormal-1 {
+			var rest []string
+			if i < len(actual) {
+				rest = actual[i:]
+			}
+			f.vars["args"] = &variable{scalar: FormatList(rest)}
+			break
+		}
+		v := &variable{}
+		switch {
+		case i < len(actual):
+			v.scalar = actual[i]
+		case formal.HasDefault:
+			v.scalar = formal.Default
+		default:
+			return "", NewError("no value given for parameter %q to %q", formal.Name, p.Name)
+		}
+		f.vars[formal.Name] = v
+	}
+	if !varArgs && len(actual) > nFormal {
+		return "", NewError("called %q with too many arguments", p.Name)
+	}
+	in.frames = append(in.frames, f)
+	defer func() { in.frames = in.frames[:len(in.frames)-1] }()
+	res, err := in.Eval(p.Body)
+	if err != nil {
+		var te *Error
+		if asTclError(err, &te) {
+			switch te.Code {
+			case CodeReturn:
+				return te.Value, nil
+			case CodeBreak, CodeContinue:
+				return "", NewError("invoked %q outside of a loop",
+					map[Code]string{CodeBreak: "break", CodeContinue: "continue"}[te.Code])
+			}
+		}
+		in.recordErrorInfo(err, fmt.Sprintf("(procedure %q invoked as %q)", p.Name, strings.Join(argv, " ")))
+		return "", err
+	}
+	return res, nil
+}
+
+func asTclError(err error, out **Error) bool {
+	te, ok := err.(*Error)
+	if ok {
+		*out = te
+	}
+	return ok
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

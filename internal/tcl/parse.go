@@ -1,0 +1,497 @@
+// Package tcl implements an embeddable Tcl interpreter in the spirit of
+// Tcl 6/7 as used by Wafe (Neumann & Nusser, USENIX 1993).
+//
+// The interpreter is string-only: every value that crosses a command
+// boundary is a string, which is exactly the property Wafe relies on to
+// feed values through the Xt resource converters. The package provides
+// the classic command set (control flow, variables incl. associative
+// arrays, lists, strings, expr) plus the embedding API used by the Wafe
+// core: RegisterCommand, Eval, SetVar/GetVar and list helpers.
+package tcl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// A parser walks a script one command at a time. Like classic Tcl the
+// interpreter re-parses scripts on each evaluation; there is no separate
+// compilation step.
+type parser struct {
+	src string
+	pos int
+}
+
+// word is one parsed word of a command before substitution. Words are
+// represented as a token list so that substitution can be performed at
+// evaluation time.
+type word struct {
+	tokens []token
+	// expand is reserved for {*} style expansion (not part of Tcl 6 but
+	// useful for internal callers); it is never produced by the parser.
+	expand bool
+}
+
+type tokenKind int
+
+const (
+	tokText    tokenKind = iota // literal text
+	tokVar                      // $name or ${name} or $name(index)
+	tokCommand                  // [script]
+)
+
+type token struct {
+	kind tokenKind
+	text string // literal text, variable name, or nested script
+	// index holds the (unsubstituted) array index tokens when kind==tokVar
+	// and the variable reference had the form $name(index).
+	index  []token
+	hasIdx bool
+}
+
+// command is one parsed command: a sequence of words.
+type parsedCommand struct {
+	words []word
+}
+
+func newParser(src string) *parser { return &parser{src: src} }
+
+func (p *parser) atEnd() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte { return p.src[p.pos] }
+
+// skipCommandSeparators consumes whitespace, newlines, semicolons and
+// comments between commands.
+func (p *parser) skipCommandSeparators() {
+	for !p.atEnd() {
+		c := p.src[p.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ';':
+			p.pos++
+		case c == '\\' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '\n':
+			p.pos += 2
+		case c == '#':
+			// Comment: to end of line; a backslash-newline continues it.
+			for !p.atEnd() {
+				if p.src[p.pos] == '\\' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '\n' {
+					p.pos += 2
+					continue
+				}
+				if p.src[p.pos] == '\n' {
+					break
+				}
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+// skipWordSeparators consumes spaces and tabs (and escaped newlines)
+// between the words of a single command. It reports whether the command
+// has ended (newline, semicolon or end of input).
+func (p *parser) skipWordSeparators() (commandEnded bool) {
+	for !p.atEnd() {
+		c := p.src[p.pos]
+		switch {
+		case c == ' ' || c == '\t':
+			p.pos++
+		case c == '\\' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '\n':
+			// Backslash-newline acts as a word separator.
+			p.pos += 2
+		case c == '\n' || c == '\r' || c == ';':
+			return true
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// nextCommand parses the next command from the script. It returns nil
+// when the script is exhausted.
+func (p *parser) nextCommand() (*parsedCommand, error) {
+	p.skipCommandSeparators()
+	if p.atEnd() {
+		return nil, nil
+	}
+	cmd := &parsedCommand{}
+	for {
+		if ended := p.skipWordSeparators(); ended {
+			// Consume the terminator itself (if any).
+			if !p.atEnd() && (p.peek() == '\n' || p.peek() == ';' || p.peek() == '\r') {
+				p.pos++
+			}
+			break
+		}
+		w, err := p.parseWord()
+		if err != nil {
+			return nil, err
+		}
+		cmd.words = append(cmd.words, w)
+	}
+	if len(cmd.words) == 0 {
+		return p.nextCommand()
+	}
+	return cmd, nil
+}
+
+func (p *parser) parseWord() (word, error) {
+	switch p.peek() {
+	case '{':
+		return p.parseBracedWord()
+	case '"':
+		return p.parseQuotedWord()
+	default:
+		return p.parseBareWord()
+	}
+}
+
+// parseBracedWord reads {...} with brace counting; the content is
+// literal except that backslash-newline inside braces is preserved
+// verbatim per Tcl semantics (substitution happens later if the word is
+// used as a script).
+func (p *parser) parseBracedWord() (word, error) {
+	start := p.pos + 1
+	depth := 0
+	i := p.pos
+	for i < len(p.src) {
+		switch p.src[i] {
+		case '\\':
+			i++ // skip escaped char inside braces (it stays literal)
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth == 0 {
+				w := word{tokens: []token{{kind: tokText, text: p.src[start:i]}}}
+				p.pos = i + 1
+				if !p.atEnd() {
+					c := p.peek()
+					if c != ' ' && c != '\t' && c != '\n' && c != '\r' && c != ';' && !(c == '\\' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '\n') {
+						return word{}, fmt.Errorf("extra characters after close-brace")
+					}
+				}
+				return w, nil
+			}
+		}
+		i++
+	}
+	return word{}, fmt.Errorf("missing close-brace")
+}
+
+func (p *parser) parseQuotedWord() (word, error) {
+	p.pos++ // consume opening quote
+	var toks []token
+	var lit strings.Builder
+	flush := func() {
+		if lit.Len() > 0 {
+			toks = append(toks, token{kind: tokText, text: lit.String()})
+			lit.Reset()
+		}
+	}
+	for !p.atEnd() {
+		c := p.peek()
+		switch c {
+		case '"':
+			p.pos++
+			flush()
+			if !p.atEnd() {
+				c := p.peek()
+				if c != ' ' && c != '\t' && c != '\n' && c != '\r' && c != ';' {
+					return word{}, fmt.Errorf("extra characters after close-quote")
+				}
+			}
+			return word{tokens: toks}, nil
+		case '\\':
+			s, err := p.parseBackslash()
+			if err != nil {
+				return word{}, err
+			}
+			lit.WriteString(s)
+		case '$':
+			flush()
+			t, err := p.parseVarToken()
+			if err != nil {
+				return word{}, err
+			}
+			toks = append(toks, t)
+		case '[':
+			flush()
+			t, err := p.parseCommandToken()
+			if err != nil {
+				return word{}, err
+			}
+			toks = append(toks, t)
+		default:
+			lit.WriteByte(c)
+			p.pos++
+		}
+	}
+	return word{}, fmt.Errorf("missing closing quote")
+}
+
+func (p *parser) parseBareWord() (word, error) {
+	var toks []token
+	var lit strings.Builder
+	flush := func() {
+		if lit.Len() > 0 {
+			toks = append(toks, token{kind: tokText, text: lit.String()})
+			lit.Reset()
+		}
+	}
+	for !p.atEnd() {
+		c := p.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ';':
+			flush()
+			return word{tokens: toks}, nil
+		case c == '\\':
+			if p.pos+1 < len(p.src) && p.src[p.pos+1] == '\n' {
+				flush()
+				return word{tokens: toks}, nil
+			}
+			s, err := p.parseBackslash()
+			if err != nil {
+				return word{}, err
+			}
+			lit.WriteString(s)
+		case c == '$':
+			flush()
+			t, err := p.parseVarToken()
+			if err != nil {
+				return word{}, err
+			}
+			toks = append(toks, t)
+		case c == '[':
+			flush()
+			t, err := p.parseCommandToken()
+			if err != nil {
+				return word{}, err
+			}
+			toks = append(toks, t)
+		case c == '{':
+			// An open brace inside a bare word is literal in Tcl.
+			lit.WriteByte(c)
+			p.pos++
+		default:
+			lit.WriteByte(c)
+			p.pos++
+		}
+	}
+	flush()
+	return word{tokens: toks}, nil
+}
+
+// parseBackslash interprets a backslash escape starting at p.pos
+// (pointing at the backslash) and returns the replacement text.
+func (p *parser) parseBackslash() (string, error) {
+	p.pos++ // consume backslash
+	if p.atEnd() {
+		return "\\", nil
+	}
+	c := p.peek()
+	p.pos++
+	switch c {
+	case 'a':
+		return "\a", nil
+	case 'b':
+		return "\b", nil
+	case 'f':
+		return "\f", nil
+	case 'n':
+		return "\n", nil
+	case 'r':
+		return "\r", nil
+	case 't':
+		return "\t", nil
+	case 'v':
+		return "\v", nil
+	case '\n':
+		// Backslash-newline plus following whitespace collapses to one space.
+		for !p.atEnd() && (p.peek() == ' ' || p.peek() == '\t') {
+			p.pos++
+		}
+		return " ", nil
+	case 'x':
+		var n, digits int
+		for !p.atEnd() && digits < 2 {
+			d := hexVal(p.peek())
+			if d < 0 {
+				break
+			}
+			n = n*16 + d
+			digits++
+			p.pos++
+		}
+		if digits == 0 {
+			return "x", nil
+		}
+		return string(rune(n)), nil
+	case 'u':
+		var n, digits int
+		for !p.atEnd() && digits < 4 {
+			d := hexVal(p.peek())
+			if d < 0 {
+				break
+			}
+			n = n*16 + d
+			digits++
+			p.pos++
+		}
+		if digits == 0 {
+			return "u", nil
+		}
+		return string(rune(n)), nil
+	case '0', '1', '2', '3', '4', '5', '6', '7':
+		n := int(c - '0')
+		digits := 1
+		for !p.atEnd() && digits < 3 && p.peek() >= '0' && p.peek() <= '7' {
+			n = n*8 + int(p.peek()-'0')
+			digits++
+			p.pos++
+		}
+		return string(rune(n)), nil
+	default:
+		return string(c), nil
+	}
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}
+
+func isVarNameChar(c byte) bool {
+	return c == '_' || c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+// parseVarToken parses $name, ${name} and $name(index).
+func (p *parser) parseVarToken() (token, error) {
+	p.pos++ // consume $
+	if p.atEnd() {
+		return token{kind: tokText, text: "$"}, nil
+	}
+	if p.peek() == '{' {
+		p.pos++
+		start := p.pos
+		for !p.atEnd() && p.peek() != '}' {
+			p.pos++
+		}
+		if p.atEnd() {
+			return token{}, fmt.Errorf("missing close-brace for variable name")
+		}
+		name := p.src[start:p.pos]
+		p.pos++
+		return token{kind: tokVar, text: name}, nil
+	}
+	start := p.pos
+	for !p.atEnd() && isVarNameChar(p.peek()) {
+		p.pos++
+	}
+	if p.pos == start {
+		// A lone dollar sign is literal.
+		return token{kind: tokText, text: "$"}, nil
+	}
+	name := p.src[start:p.pos]
+	t := token{kind: tokVar, text: name}
+	if !p.atEnd() && p.peek() == '(' {
+		p.pos++
+		idxStart := p.pos
+		depth := 1
+		var idx []token
+		var lit strings.Builder
+		flush := func() {
+			if lit.Len() > 0 {
+				idx = append(idx, token{kind: tokText, text: lit.String()})
+				lit.Reset()
+			}
+		}
+		for !p.atEnd() {
+			c := p.peek()
+			switch c {
+			case '(':
+				depth++
+				lit.WriteByte(c)
+				p.pos++
+			case ')':
+				depth--
+				if depth == 0 {
+					p.pos++
+					flush()
+					t.index = idx
+					t.hasIdx = true
+					return t, nil
+				}
+				lit.WriteByte(c)
+				p.pos++
+			case '$':
+				flush()
+				sub, err := p.parseVarToken()
+				if err != nil {
+					return token{}, err
+				}
+				idx = append(idx, sub)
+			case '[':
+				flush()
+				sub, err := p.parseCommandToken()
+				if err != nil {
+					return token{}, err
+				}
+				idx = append(idx, sub)
+			case '\\':
+				s, err := p.parseBackslash()
+				if err != nil {
+					return token{}, err
+				}
+				lit.WriteString(s)
+			default:
+				lit.WriteByte(c)
+				p.pos++
+			}
+		}
+		_ = idxStart
+		return token{}, fmt.Errorf("missing )")
+	}
+	return t, nil
+}
+
+// parseCommandToken parses a [script] substitution; the script is kept
+// unevaluated until substitution time.
+func (p *parser) parseCommandToken() (token, error) {
+	p.pos++ // consume [
+	start := p.pos
+	depth := 1
+	for !p.atEnd() {
+		switch p.peek() {
+		case '\\':
+			p.pos++ // skip next char
+			if !p.atEnd() {
+				p.pos++
+			}
+			continue
+		case '[':
+			depth++
+		case ']':
+			depth--
+			if depth == 0 {
+				script := p.src[start:p.pos]
+				p.pos++
+				return token{kind: tokCommand, text: script}, nil
+			}
+		case '{':
+			// Braces inside bracketed scripts must balance so that
+			// "[gV input string])" style text nests correctly.
+		}
+		p.pos++
+	}
+	return token{}, fmt.Errorf("missing close-bracket")
+}

@@ -1,0 +1,264 @@
+package tcl
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// genListElement produces strings covering the quoting-relevant
+// character space (braces, brackets, spaces, backslashes, dollars).
+func genListElement(r *rand.Rand) string {
+	alphabet := []rune("ab {}[]$\\\"; \t\n")
+	n := r.Intn(12)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteRune(alphabet[r.Intn(len(alphabet))])
+	}
+	return b.String()
+}
+
+type elementList []string
+
+// Generate implements quick.Generator with the hostile alphabet.
+func (elementList) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(6)
+	out := make(elementList, n)
+	for i := range out {
+		out[i] = genListElement(r)
+	}
+	return reflect.ValueOf(out)
+}
+
+// Property: FormatList/ParseList round-trip for arbitrary elements.
+func TestListRoundTripProperty(t *testing.T) {
+	f := func(elems elementList) bool {
+		formatted := FormatList(elems)
+		parsed, err := ParseList(formatted)
+		if err != nil {
+			t.Logf("ParseList(%q) error: %v", formatted, err)
+			return false
+		}
+		if len(parsed) != len(elems) {
+			t.Logf("len mismatch: %q → %q", []string(elems), parsed)
+			return false
+		}
+		for i := range elems {
+			if parsed[i] != elems[i] {
+				t.Logf("element %d: %q → %q (via %q)", i, elems[i], parsed[i], formatted)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: QuoteListElement always yields exactly one element.
+func TestQuoteSingleElementProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		s := string(raw)
+		if !strings.Contains(s, "\x00") && len(s) < 64 {
+			q := QuoteListElement(s)
+			parsed, err := ParseList(q)
+			if err != nil || len(parsed) != 1 || parsed[0] != s {
+				t.Logf("%q → %q → %v (%v)", s, q, parsed, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: expr integer arithmetic matches Go for + - * and
+// comparison operators.
+func TestExprMatchesGoProperty(t *testing.T) {
+	in := New()
+	f := func(a, b int16) bool {
+		ai, bi := int64(a), int64(b)
+		cases := map[string]int64{
+			fmt.Sprintf("%d+%d", ai, bi):  ai + bi,
+			fmt.Sprintf("%d-%d", ai, bi):  ai - bi,
+			fmt.Sprintf("%d*%d", ai, bi):  ai * bi,
+			fmt.Sprintf("%d<%d", ai, bi):  b2i(ai < bi),
+			fmt.Sprintf("%d>=%d", ai, bi): b2i(ai >= bi),
+			fmt.Sprintf("%d==%d", ai, bi): b2i(ai == bi),
+		}
+		for expr, want := range cases {
+			got, err := in.ExprEval(expr)
+			if err != nil {
+				t.Logf("expr %q: %v", expr, err)
+				return false
+			}
+			if got != strconv.FormatInt(want, 10) {
+				t.Logf("expr %q = %s, want %d", expr, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Tcl integer division/modulo satisfy the Euclidean-ish
+// invariant n = (n/d)*d + n%d with 0 <= |n%d| < |d| and the sign of the
+// remainder following the divisor.
+func TestExprDivModProperty(t *testing.T) {
+	in := New()
+	f := func(n int16, d int16) bool {
+		if d == 0 {
+			return true
+		}
+		q, err1 := in.ExprEval(fmt.Sprintf("%d/%d", n, d))
+		m, err2 := in.ExprEval(fmt.Sprintf("%d%%%d", n, d))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		qi, _ := strconv.ParseInt(q, 10, 64)
+		mi, _ := strconv.ParseInt(m, 10, 64)
+		if qi*int64(d)+mi != int64(n) {
+			t.Logf("%d/%d=%d rem %d: identity violated", n, d, qi, mi)
+			return false
+		}
+		if mi != 0 && (mi < 0) != (d < 0) {
+			t.Logf("%d%%%d=%d: sign does not follow divisor", n, d, mi)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: glob * ? matching agrees with a reference regexp
+// translation for patterns without character classes.
+func TestGlobMatchesReferenceProperty(t *testing.T) {
+	f := func(patRaw, sRaw []byte) bool {
+		pat := sanitizeGlob(patRaw)
+		s := sanitizeGlob(sRaw)
+		want := refGlob(pat, s)
+		got := GlobMatch(pat, s)
+		if got != want {
+			t.Logf("GlobMatch(%q, %q) = %v, reference %v", pat, s, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitizeGlob(raw []byte) string {
+	alphabet := "ab*?c"
+	var b strings.Builder
+	for _, c := range raw {
+		if len(raw) > 10 {
+			raw = raw[:10]
+		}
+		b.WriteByte(alphabet[int(c)%len(alphabet)])
+		if b.Len() >= 8 {
+			break
+		}
+	}
+	return b.String()
+}
+
+// refGlob is a simple exponential reference implementation.
+func refGlob(p, s string) bool {
+	if p == "" {
+		return s == ""
+	}
+	switch p[0] {
+	case '*':
+		for i := 0; i <= len(s); i++ {
+			if refGlob(p[1:], s[i:]) {
+				return true
+			}
+		}
+		return false
+	case '?':
+		return s != "" && refGlob(p[1:], s[1:])
+	default:
+		return s != "" && s[0] == p[0] && refGlob(p[1:], s[1:])
+	}
+}
+
+// Property: format %d agrees with Go's Sprintf for random widths.
+func TestFormatIntProperty(t *testing.T) {
+	f := func(n int32, w uint8) bool {
+		width := int(w % 12)
+		spec := fmt.Sprintf("%%%dd", width)
+		got, err := FormatTcl(spec, []string{strconv.Itoa(int(n))})
+		if err != nil {
+			return false
+		}
+		want := fmt.Sprintf(spec, n)
+		if got != want {
+			t.Logf("format %q %d = %q, want %q", spec, n, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: set/get round-trips arbitrary values through variables and
+// array elements.
+func TestVariableRoundTripProperty(t *testing.T) {
+	in := New()
+	f := func(raw []byte) bool {
+		val := string(raw)
+		if strings.ContainsAny(val, "\x00") || len(val) > 100 {
+			return true
+		}
+		if err := in.SetVar("v", val); err != nil {
+			return false
+		}
+		got, err := in.GetVar("v")
+		if err != nil || got != val {
+			return false
+		}
+		if err := in.SetVar("arr(key)", val); err != nil {
+			return false
+		}
+		got, err = in.GetVar("arr(key)")
+		return err == nil && got == val
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: dictCompare is a total order (antisymmetric, reflexive).
+func TestDictCompareOrderProperty(t *testing.T) {
+	f := func(aRaw, bRaw []byte) bool {
+		a, b := string(aRaw), string(bRaw)
+		ab := dictCompare(a, b)
+		ba := dictCompare(b, a)
+		if dictCompare(a, a) != 0 {
+			return false
+		}
+		if ab == 0 {
+			return ba == 0
+		}
+		return ab == -ba
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

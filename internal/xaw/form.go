@@ -1,0 +1,577 @@
+package xaw
+
+import (
+	"fmt"
+
+	"wafe/internal/xt"
+)
+
+// FormClass is the Athena constraint widget: children are positioned
+// relative to each other with the fromVert/fromHoriz constraints the
+// paper's Perl example uses.
+var FormClass = &xt.Class{
+	Name:      "Form",
+	Super:     xt.ConstraintClass,
+	Composite: true,
+	Resources: []xt.Resource{
+		{Name: "defaultDistance", Class: "Thickness", Type: xt.TDimension, Default: "4"},
+	},
+	Constraints: []xt.Resource{
+		{Name: "fromVert", Class: "Widget", Type: xt.TWidget, Default: ""},
+		{Name: "fromHoriz", Class: "Widget", Type: xt.TWidget, Default: ""},
+		{Name: "horizDistance", Class: "Thickness", Type: xt.TDimension, Default: "4"},
+		{Name: "vertDistance", Class: "Thickness", Type: xt.TDimension, Default: "4"},
+		{Name: "top", Class: "Edge", Type: xt.TString, Default: "rubber"},
+		{Name: "bottom", Class: "Edge", Type: xt.TString, Default: "rubber"},
+		{Name: "left", Class: "Edge", Type: xt.TString, Default: "rubber"},
+		{Name: "right", Class: "Edge", Type: xt.TString, Default: "rubber"},
+		{Name: "resizable", Class: "Boolean", Type: xt.TBoolean, Default: "False"},
+	},
+	ChangeManaged: formLayout,
+	PreferredSize: formPreferredSize,
+	Resize:        func(w *xt.Widget) { formPlace(w) },
+}
+
+// formAllowResize is the XawFormAllowResize state; Wafe exposes it as
+// the formAllowResize command.
+var formResizeDisabled = map[*xt.Widget]bool{}
+
+// FormAllowResize implements XawFormAllowResize.
+func FormAllowResize(w *xt.Widget, allow bool) {
+	if allow {
+		delete(formResizeDisabled, w)
+	} else {
+		formResizeDisabled[w] = true
+	}
+}
+
+func constraintWidget(c *xt.Widget, name string) *xt.Widget {
+	if v, ok := c.Get(name); ok {
+		if w, ok := v.(*xt.Widget); ok {
+			return w
+		}
+	}
+	return nil
+}
+
+// formPlace computes child positions from their constraints.
+func formPlace(w *xt.Widget) map[*xt.Widget][4]int {
+	placed := make(map[*xt.Widget][4]int) // x, y, w, h
+	kids := w.ManagedChildren()
+	dd := w.Int("defaultDistance")
+	var place func(c *xt.Widget) [4]int
+	visiting := map[*xt.Widget]bool{}
+	place = func(c *xt.Widget) [4]int {
+		if g, ok := placed[c]; ok {
+			return g
+		}
+		if visiting[c] {
+			// Constraint cycle: fall back to origin.
+			return [4]int{dd, dd, 1, 1}
+		}
+		visiting[c] = true
+		defer delete(visiting, c)
+		cw, ch := c.PreferredSize()
+		x, y := dd, dd
+		if fh := constraintWidget(c, "fromHoriz"); fh != nil && fh.Parent == w && fh.IsManaged() {
+			g := place(fh)
+			x = g[0] + g[2] + 2*fh.Int("borderWidth") + c.Int("horizDistance")
+		}
+		if fv := constraintWidget(c, "fromVert"); fv != nil && fv.Parent == w && fv.IsManaged() {
+			g := place(fv)
+			y = g[1] + g[3] + 2*fv.Int("borderWidth") + c.Int("vertDistance")
+		}
+		g := [4]int{x, y, cw, ch}
+		placed[c] = g
+		return g
+	}
+	for _, c := range kids {
+		place(c)
+	}
+	for c, g := range placed {
+		c.SetChildGeometry(g[0], g[1], g[2], g[3])
+	}
+	return placed
+}
+
+func formLayout(w *xt.Widget) {
+	placed := formPlace(w)
+	if formResizeDisabled[w] {
+		return
+	}
+	// Size the form to enclose its children unless explicitly sized.
+	maxX, maxY := 1, 1
+	dd := w.Int("defaultDistance")
+	for c, g := range placed {
+		bw := c.Int("borderWidth")
+		if r := g[0] + g[2] + 2*bw + dd; r > maxX {
+			maxX = r
+		}
+		if b := g[1] + g[3] + 2*bw + dd; b > maxY {
+			maxY = b
+		}
+	}
+	if !w.Explicit("width") || !w.Explicit("height") {
+		nw, nh := w.Int("width"), w.Int("height")
+		if !w.Explicit("width") {
+			nw = maxX
+		}
+		if !w.Explicit("height") {
+			nh = maxY
+		}
+		if nw != w.Int("width") || nh != w.Int("height") {
+			w.RequestResize(nw, nh)
+		}
+	}
+}
+
+func formPreferredSize(w *xt.Widget) (int, int) {
+	placed := formPlace(w)
+	maxX, maxY := 1, 1
+	dd := w.Int("defaultDistance")
+	for c, g := range placed {
+		bw := c.Int("borderWidth")
+		if r := g[0] + g[2] + 2*bw + dd; r > maxX {
+			maxX = r
+		}
+		if b := g[1] + g[3] + 2*bw + dd; b > maxY {
+			maxY = b
+		}
+	}
+	return maxX, maxY
+}
+
+// BoxClass packs children in rows (or a column when vertical).
+var BoxClass = &xt.Class{
+	Name:      "Box",
+	Super:     xt.CompositeClass,
+	Composite: true,
+	Resources: []xt.Resource{
+		{Name: "hSpace", Class: "HSpace", Type: xt.TDimension, Default: "4"},
+		{Name: "vSpace", Class: "VSpace", Type: xt.TDimension, Default: "4"},
+		{Name: "orientation", Class: "Orientation", Type: xt.TOrientation, Default: "vertical"},
+	},
+	ChangeManaged: boxLayout,
+	PreferredSize: boxPreferredSize,
+	Resize:        func(w *xt.Widget) { boxPlace(w) },
+}
+
+func boxPlace(w *xt.Widget) (int, int) {
+	hs, vs := w.Int("hSpace"), w.Int("vSpace")
+	x, y := hs, vs
+	maxX, maxY := 1, 1
+	horizontal := w.Str("orientation") == "horizontal"
+	for _, c := range w.ManagedChildren() {
+		cw, ch := c.PreferredSize()
+		bw := c.Int("borderWidth")
+		c.SetChildGeometry(x, y, cw, ch)
+		if horizontal {
+			x += cw + 2*bw + hs
+			if y+ch+2*bw+vs > maxY {
+				maxY = y + ch + 2*bw + vs
+			}
+			maxX = x
+		} else {
+			y += ch + 2*bw + vs
+			if x+cw+2*bw+hs > maxX {
+				maxX = x + cw + 2*bw + hs
+			}
+			maxY = y
+		}
+	}
+	return maxX, maxY
+}
+
+func boxLayout(w *xt.Widget) {
+	maxX, maxY := boxPlace(w)
+	if !w.Explicit("width") || !w.Explicit("height") {
+		nw, nh := w.Int("width"), w.Int("height")
+		if !w.Explicit("width") {
+			nw = maxX
+		}
+		if !w.Explicit("height") {
+			nh = maxY
+		}
+		w.RequestResize(nw, nh)
+	}
+}
+
+func boxPreferredSize(w *xt.Widget) (int, int) { return boxPlace(w) }
+
+// PanedClass stacks children vertically (or horizontally) with grips
+// between panes.
+var PanedClass = &xt.Class{
+	Name:      "Paned",
+	Super:     xt.ConstraintClass,
+	Composite: true,
+	Resources: []xt.Resource{
+		{Name: "orientation", Class: "Orientation", Type: xt.TOrientation, Default: "vertical"},
+		{Name: "internalBorderWidth", Class: "BorderWidth", Type: xt.TDimension, Default: "1"},
+	},
+	Constraints: []xt.Resource{
+		{Name: "min", Class: "Min", Type: xt.TDimension, Default: "1"},
+		{Name: "max", Class: "Max", Type: xt.TDimension, Default: "10000"},
+		{Name: "preferredPaneSize", Class: "PreferredPaneSize", Type: xt.TDimension, Default: "0"},
+		{Name: "skipAdjust", Class: "Boolean", Type: xt.TBoolean, Default: "False"},
+		{Name: "showGrip", Class: "ShowGrip", Type: xt.TBoolean, Default: "True"},
+	},
+	ChangeManaged: panedLayout,
+	PreferredSize: panedPreferredSize,
+	Resize:        func(w *xt.Widget) { panedPlace(w) },
+}
+
+// panedPrivate guards grip creation against layout recursion.
+type panedPrivate struct {
+	creatingGrips bool
+}
+
+func panedState(w *xt.Widget) *panedPrivate {
+	st, ok := w.Private.(*panedPrivate)
+	if !ok {
+		st = &panedPrivate{}
+		w.Private = st
+	}
+	return st
+}
+
+// panedGripName names the grip that follows a pane.
+func panedGripName(pane *xt.Widget) string { return pane.Name + "Grip" }
+
+// panedPanes returns the managed children that are real panes (not
+// grips).
+func panedPanes(w *xt.Widget) []*xt.Widget {
+	var out []*xt.Widget
+	for _, c := range w.ManagedChildren() {
+		if c.Class == GripClass {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// ensurePanedGrip creates (once) the grip following a pane and wires
+// its release callback to resize the pane — the Xaw drag-to-resize
+// protocol in its committed-on-release form.
+func ensurePanedGrip(w, pane *xt.Widget) *xt.Widget {
+	name := panedGripName(pane)
+	if g := w.App().WidgetByName(name); g != nil {
+		return g
+	}
+	st := panedState(w)
+	if st.creatingGrips {
+		return nil
+	}
+	st.creatingGrips = true
+	defer func() { st.creatingGrips = false }()
+	g, err := w.App().CreateWidget(name, GripClass, w, nil, true)
+	if err != nil {
+		return nil
+	}
+	paned, thisPane := w, pane
+	_ = g.AddCallback("callback", xt.Callback{
+		Source: "paned grip",
+		Proc: func(grip *xt.Widget, data xt.CallData) {
+			if data["action"] != "release" {
+				return
+			}
+			// The new boundary is the pointer position relative to the
+			// pane's top (vertical) or left (horizontal).
+			_, _, _ = grip, paned, thisPane
+			px, py, _ := paned.Display().Pointer()
+			if pw, ok := paned.Display().Lookup(paned.Window()); ok {
+				ox, oy := pw.RootCoords(0, 0)
+				var newSize int
+				if paned.Str("orientation") != "horizontal" {
+					newSize = (py - oy) - thisPane.Int("y")
+				} else {
+					newSize = (px - ox) - thisPane.Int("x")
+				}
+				lo, hi := thisPane.Int("min"), thisPane.Int("max")
+				newSize = clampInt(newSize, maxInt(lo, 1), hi)
+				thisPane.SetResourceValue("preferredPaneSize", newSize)
+				panedPlace(paned)
+				paned.Redraw()
+			}
+		},
+	})
+	return g
+}
+
+func panedPlace(w *xt.Widget) (int, int) {
+	ib := w.Int("internalBorderWidth")
+	vertical := w.Str("orientation") != "horizontal"
+	pos := 0
+	maxCross := 1
+	panes := panedPanes(w)
+	for i, c := range panes {
+		cw, ch := c.PreferredSize()
+		if p := c.Int("preferredPaneSize"); p > 0 {
+			if vertical {
+				ch = p
+			} else {
+				cw = p
+			}
+		}
+		if vertical {
+			c.SetChildGeometry(0, pos, maxInt(cw, w.Int("width")), ch)
+			pos += ch + 2*c.Int("borderWidth") + ib
+			if cw > maxCross {
+				maxCross = cw
+			}
+		} else {
+			c.SetChildGeometry(pos, 0, cw, maxInt(ch, w.Int("height")))
+			pos += cw + 2*c.Int("borderWidth") + ib
+			if ch > maxCross {
+				maxCross = ch
+			}
+		}
+		// A grip sits on each internal boundary (not after the last
+		// pane) when the pane asks for one.
+		if i < len(panes)-1 && c.Bool("showGrip") {
+			if g := ensurePanedGrip(w, c); g != nil {
+				gw, gh := g.PreferredSize()
+				if vertical {
+					g.SetChildGeometry(maxInt(w.Int("width")-gw-w.Int("internalBorderWidth")-10, 0), pos-gh/2-ib, gw, gh)
+				} else {
+					g.SetChildGeometry(pos-gw/2-ib, maxInt(w.Int("height")-gh-10, 0), gw, gh)
+				}
+			}
+		}
+	}
+	if vertical {
+		return maxCross, maxInt(pos, 1)
+	}
+	return maxInt(pos, 1), maxCross
+}
+
+func panedLayout(w *xt.Widget) {
+	pw, ph := panedPlace(w)
+	if !w.Explicit("width") || !w.Explicit("height") {
+		nw, nh := w.Int("width"), w.Int("height")
+		if !w.Explicit("width") {
+			nw = pw
+		}
+		if !w.Explicit("height") {
+			nh = ph
+		}
+		w.RequestResize(nw, nh)
+	}
+}
+
+func panedPreferredSize(w *xt.Widget) (int, int) { return panedPlace(w) }
+
+// ViewportClass clips a single child and provides scrollbars.
+var ViewportClass = &xt.Class{
+	Name:      "Viewport",
+	Super:     FormClass,
+	Composite: true,
+	Resources: []xt.Resource{
+		{Name: "allowHoriz", Class: "Boolean", Type: xt.TBoolean, Default: "False"},
+		{Name: "allowVert", Class: "Boolean", Type: xt.TBoolean, Default: "False"},
+		{Name: "forceBars", Class: "Boolean", Type: xt.TBoolean, Default: "False"},
+		{Name: "useBottom", Class: "Boolean", Type: xt.TBoolean, Default: "False"},
+		{Name: "useRight", Class: "Boolean", Type: xt.TBoolean, Default: "False"},
+	},
+	ChangeManaged: viewportLayout,
+	PreferredSize: viewportPreferredSize,
+	Resize:        func(w *xt.Widget) { viewportLayout(w) },
+}
+
+// viewportPrivate holds the scroll offsets.
+type viewportPrivate struct {
+	offX, offY int
+}
+
+func viewportState(w *xt.Widget) *viewportPrivate {
+	st, ok := w.Private.(*viewportPrivate)
+	if !ok {
+		st = &viewportPrivate{}
+		w.Private = st
+	}
+	return st
+}
+
+// ViewportSetLocation implements XawViewportSetLocation: scroll the
+// child so that (xFrac, yFrac) of it is at the viewport origin.
+func ViewportSetLocation(w *xt.Widget, xFrac, yFrac float64) {
+	c := viewportMainChild(w)
+	if c == nil {
+		return
+	}
+	st := viewportState(w)
+	cw, ch := c.Int("width"), c.Int("height")
+	st.offX = clampInt(int(xFrac*float64(cw)), 0, maxInt(cw-w.Int("width"), 0))
+	st.offY = clampInt(int(yFrac*float64(ch)), 0, maxInt(ch-w.Int("height"), 0))
+	if !w.Bool("allowHoriz") {
+		st.offX = 0
+	}
+	if !w.Bool("allowVert") {
+		st.offY = 0
+	}
+	c.SetChildGeometry(-st.offX, -st.offY, cw, ch)
+	w.Redraw()
+}
+
+// ViewportLocation returns the current scroll offsets in pixels.
+func ViewportLocation(w *xt.Widget) (int, int) {
+	st := viewportState(w)
+	return st.offX, st.offY
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// viewportScrollName names the auto-created vertical scrollbar.
+func viewportScrollName(w *xt.Widget) string { return w.Name + "VScroll" }
+
+// viewportMainChild returns the scrolled child, skipping the
+// auto-created scrollbar.
+func viewportMainChild(w *xt.Widget) *xt.Widget {
+	for _, c := range w.ManagedChildren() {
+		if c.Name != viewportScrollName(w) {
+			return c
+		}
+	}
+	return nil
+}
+
+// ensureViewportBars creates the vertical scrollbar when allowVert (or
+// forceBars) asks for one, wiring its jumpProc to ViewportSetLocation —
+// the Xaw behaviour of Viewport creating its own Scrollbar children.
+func ensureViewportBars(w *xt.Widget) {
+	if !w.Bool("allowVert") && !w.Bool("forceBars") {
+		return
+	}
+	name := viewportScrollName(w)
+	if w.App().WidgetByName(name) != nil {
+		return
+	}
+	sb, err := w.App().CreateWidget(name, ScrollbarClass, w, map[string]string{
+		"orientation": "vertical",
+	}, false)
+	if err != nil {
+		return
+	}
+	vp := w
+	_ = sb.AddCallback("jumpProc", xt.Callback{
+		Source: "viewport scroll",
+		Proc: func(_ *xt.Widget, data xt.CallData) {
+			var frac float64
+			if v, ok := data["f"]; ok {
+				if _, err := fmt.Sscanf(v, "%g", &frac); err != nil {
+					return
+				}
+			}
+			ViewportSetLocation(vp, 0, frac)
+		},
+	})
+	sb.Manage()
+}
+
+func viewportLayout(w *xt.Widget) {
+	ensureViewportBars(w)
+	c := viewportMainChild(w)
+	if c == nil {
+		return
+	}
+	cw, ch := c.PreferredSize()
+	st := viewportState(w)
+	// The child keeps its preferred size; the viewport clips it and
+	// offsets it by the current scroll position.
+	c.SetChildGeometry(-st.offX, -st.offY, cw, ch)
+	if !w.Explicit("width") || !w.Explicit("height") {
+		nw, nh := w.Int("width"), w.Int("height")
+		if !w.Explicit("width") {
+			nw = minInt(cw, 300)
+		}
+		if !w.Explicit("height") {
+			nh = minInt(ch, 300)
+		}
+		w.RequestResize(nw, nh)
+	}
+	// Pin the scrollbar to the right edge and keep its thumb in sync.
+	if sb := w.App().WidgetByName(viewportScrollName(w)); sb != nil && sb.IsManaged() {
+		thickness := sb.Int("thickness")
+		sb.SetChildGeometry(w.Int("width")-thickness, 0, thickness, w.Int("height"))
+		if ch > 0 {
+			shown := float64(w.Int("height")) / float64(ch)
+			if shown > 1 {
+				shown = 1
+			}
+			sb.SetResourceValue("shown", shown)
+			sb.SetResourceValue("topOfThumb", float64(st.offY)/float64(ch))
+		}
+	}
+}
+
+func viewportPreferredSize(w *xt.Widget) (int, int) {
+	c := viewportMainChild(w)
+	if c == nil {
+		return maxInt(w.Int("width"), 1), maxInt(w.Int("height"), 1)
+	}
+	return c.PreferredSize()
+}
+
+// DialogClass is a Form with a label, an optional editable value and
+// button children; XawDialogGetValueString maps to DialogValue.
+var DialogClass = &xt.Class{
+	Name:      "Dialog",
+	Super:     FormClass,
+	Composite: true,
+	Resources: []xt.Resource{
+		{Name: "label", Class: "Label", Type: xt.TString, Default: ""},
+		{Name: "value", Class: "Value", Type: xt.TString, Default: ""},
+		{Name: "icon", Class: "Icon", Type: xt.TBitmap, Default: ""},
+	},
+	ChangeManaged: formLayout,
+	PreferredSize: dialogPreferredSize,
+	Redisplay: func(w *xt.Widget) {
+		d := w.Display()
+		gc := d.NewGC()
+		gc.Foreground = w.PixelRes("background")
+		d.FillRectangle(w.Window(), gc, 0, 0, w.Int("width"), w.Int("height"))
+		gc.Foreground = w.PixelRes("borderColor")
+		f := gc.Font
+		d.DrawString(w.Window(), gc, 4, f.Ascent+2, w.Str("label"))
+		if v := w.Str("value"); v != "" {
+			d.DrawString(w.Window(), gc, 4, 2*f.Height()+2, v)
+		}
+	},
+}
+
+func dialogPreferredSize(w *xt.Widget) (int, int) {
+	fw, fh := formPreferredSize(w)
+	f := w.App()
+	_ = f
+	labelW := 6*len(w.Str("label")) + 8
+	if labelW > fw {
+		fw = labelW
+	}
+	return fw, fh + 2*13 // room for label and value lines
+}
+
+// DialogValue returns the dialog's value string
+// (XawDialogGetValueString).
+func DialogValue(w *xt.Widget) string { return w.Str("value") }
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,288 @@
+package xaw
+
+import (
+	"strings"
+
+	"wafe/internal/xproto"
+	"wafe/internal/xt"
+)
+
+// LabelClass displays a text string or bitmap. Its resource list —
+// Core (18) + Simple/Xaw3d (13) + Label (11) — totals the 42 resources
+// the paper reports for getResourceList on a Label instance.
+var LabelClass = &xt.Class{
+	Name:  "Label",
+	Super: SimpleClass,
+	Resources: []xt.Resource{
+		{Name: "foreground", Class: "Foreground", Type: xt.TPixel, Default: "XtDefaultForeground"},
+		{Name: "font", Class: "Font", Type: xt.TFont, Default: "fixed"},
+		{Name: "fontSet", Class: "FontSet", Type: xt.TString, Default: ""},
+		{Name: "label", Class: "Label", Type: xt.TString, Default: ""},
+		{Name: "encoding", Class: "Encoding", Type: xt.TString, Default: "8bit"},
+		{Name: "justify", Class: "Justify", Type: xt.TJustify, Default: "center"},
+		{Name: "internalWidth", Class: "Width", Type: xt.TDimension, Default: "4"},
+		{Name: "internalHeight", Class: "Height", Type: xt.TDimension, Default: "2"},
+		{Name: "leftBitmap", Class: "LeftBitmap", Type: xt.TBitmap, Default: ""},
+		{Name: "bitmap", Class: "Pixmap", Type: xt.TBitmap, Default: ""},
+		{Name: "resize", Class: "Resize", Type: xt.TBoolean, Default: "True"},
+	},
+	Initialize: func(w *xt.Widget) {
+		// A Label defaults its label to the widget name, as Xaw does.
+		if w.Str("label") == "" && !w.Explicit("label") {
+			w.SetResourceValue("label", w.Name)
+		}
+	},
+	PreferredSize: labelPreferredSize,
+	Redisplay:     labelRedisplay,
+	SetValues: func(w *xt.Widget, changed map[string]bool) {
+		if (changed["label"] || changed["font"]) && w.Bool("resize") && !w.Explicit("width") {
+			pw, ph := labelPreferredSize(w)
+			w.RequestResize(pw, ph)
+		}
+	},
+}
+
+func labelPreferredSize(w *xt.Widget) (int, int) {
+	f := w.FontRes("font")
+	label := labelText(w)
+	width := 0
+	lines := strings.Split(label, "\n")
+	for _, l := range lines {
+		if tw := f.TextWidth(l); tw > width {
+			width = tw
+		}
+	}
+	if pm := labelBitmap(w); pm != nil {
+		width = pm.Width
+		return width + 2*w.Int("internalWidth"), pm.Height + 2*w.Int("internalHeight")
+	}
+	h := f.Height() * len(lines)
+	return width + 2*w.Int("internalWidth"), h + 2*w.Int("internalHeight")
+}
+
+func labelText(w *xt.Widget) string { return w.Str("label") }
+
+func labelBitmap(w *xt.Widget) *xproto.Pixmap {
+	if v, ok := w.Get("bitmap"); ok {
+		if pm, ok := v.(*xproto.Pixmap); ok {
+			return pm
+		}
+	}
+	return nil
+}
+
+func labelRedisplay(w *xt.Widget) {
+	d := w.Display()
+	win := w.Window()
+	gc := d.NewGC()
+	gc.Foreground = w.PixelRes("background")
+	d.FillRectangle(win, gc, 0, 0, w.Int("width"), w.Int("height"))
+	if pm := labelBitmap(w); pm != nil {
+		d.CopyPixmap(win, pm, w.Int("internalWidth"), w.Int("internalHeight"))
+		return
+	}
+	gc.Foreground = w.PixelRes("foreground")
+	gc.Font = w.FontRes("font")
+	f := gc.Font
+	y := w.Int("internalHeight") + f.Ascent
+	for _, line := range strings.Split(labelText(w), "\n") {
+		x := w.Int("internalWidth")
+		switch w.Str("justify") {
+		case "center":
+			if extra := w.Int("width") - 2*w.Int("internalWidth") - f.TextWidth(line); extra > 0 {
+				x += extra / 2
+			}
+		case "right":
+			if extra := w.Int("width") - 2*w.Int("internalWidth") - f.TextWidth(line); extra > 0 {
+				x += extra
+			}
+		}
+		d.DrawString(win, gc, x, y, line)
+		y += f.Height()
+	}
+}
+
+// CommandClass is a pushbutton: a Label with a callback list and the
+// set/notify/highlight action protocol.
+var CommandClass = &xt.Class{
+	Name:  "Command",
+	Super: LabelClass,
+	Resources: []xt.Resource{
+		{Name: "callback", Class: "Callback", Type: xt.TCallback, Default: ""},
+		{Name: "highlightThickness", Class: "Thickness", Type: xt.TDimension, Default: "2"},
+		{Name: "shapeStyle", Class: "ShapeStyle", Type: xt.TShapeStyle, Default: "rectangle"},
+		{Name: "cornerRoundPercent", Class: "CornerRoundPercent", Type: xt.TDimension, Default: "25"},
+	},
+	DefaultTranslations: `<EnterWindow>: highlight()
+<LeaveWindow>: reset()
+<Btn1Down>: set()
+<Btn1Up>: notify() unset()`,
+	Actions: map[string]xt.ActionProc{
+		"set":       actionSet,
+		"unset":     actionUnset,
+		"reset":     actionReset,
+		"highlight": actionHighlight,
+		"notify":    actionNotify,
+	},
+	PreferredSize: labelPreferredSize,
+	Redisplay:     commandRedisplay,
+}
+
+// commandState is the per-instance pressed/highlight state.
+type commandState struct {
+	set         bool
+	highlighted bool
+}
+
+func cmdState(w *xt.Widget) *commandState {
+	st, ok := w.Private.(*commandState)
+	if !ok {
+		st = &commandState{}
+		w.Private = st
+	}
+	return st
+}
+
+func actionSet(w *xt.Widget, _ *xproto.Event, _ []string) {
+	cmdState(w).set = true
+	w.Redraw()
+}
+
+func actionUnset(w *xt.Widget, _ *xproto.Event, _ []string) {
+	cmdState(w).set = false
+	w.Redraw()
+}
+
+func actionReset(w *xt.Widget, _ *xproto.Event, _ []string) {
+	st := cmdState(w)
+	st.set = false
+	st.highlighted = false
+	w.Redraw()
+}
+
+func actionHighlight(w *xt.Widget, _ *xproto.Event, _ []string) {
+	cmdState(w).highlighted = true
+	w.Redraw()
+}
+
+func actionNotify(w *xt.Widget, _ *xproto.Event, _ []string) {
+	if cmdState(w).set {
+		w.CallCallbacks("callback", nil)
+	}
+}
+
+func commandRedisplay(w *xt.Widget) {
+	labelRedisplay(w)
+	st := cmdState(w)
+	d := w.Display()
+	gc := d.NewGC()
+	if st.set {
+		gc.Foreground = w.PixelRes("bottomShadowPixel")
+	} else {
+		gc.Foreground = w.PixelRes("topShadowPixel")
+	}
+	d.DrawRectangle(w.Window(), gc, 0, 0, w.Int("width")-1, w.Int("height")-1)
+	if st.highlighted {
+		gc.Foreground = w.PixelRes("foreground")
+		t := w.Int("highlightThickness")
+		d.DrawRectangle(w.Window(), gc, t/2, t/2, w.Int("width")-1-t, w.Int("height")-1-t)
+	}
+}
+
+// IsCommandSet reports the pressed state (for tests).
+func IsCommandSet(w *xt.Widget) bool { return cmdState(w).set }
+
+// ToggleClass is a Command that latches its state.
+var ToggleClass = &xt.Class{
+	Name:  "Toggle",
+	Super: CommandClass,
+	Resources: []xt.Resource{
+		{Name: "state", Class: "State", Type: xt.TBoolean, Default: "False"},
+		{Name: "radioGroup", Class: "Widget", Type: xt.TWidget, Default: ""},
+		{Name: "radioData", Class: "RadioData", Type: xt.TString, Default: ""},
+	},
+	DefaultTranslations: `<EnterWindow>: highlight()
+<LeaveWindow>: reset()
+<Btn1Up>: toggle() notify()`,
+	Actions: map[string]xt.ActionProc{
+		"toggle": actionToggle,
+		"notify": func(w *xt.Widget, _ *xproto.Event, _ []string) {
+			w.CallCallbacks("callback", xt.CallData{"state": boolStr(w.Bool("state"))})
+		},
+	},
+	PreferredSize: labelPreferredSize,
+	Redisplay:     toggleRedisplay,
+}
+
+func actionToggle(w *xt.Widget, _ *xproto.Event, _ []string) {
+	nw := !w.Bool("state")
+	w.SetResourceValue("state", nw)
+	// Radio-group semantics: turning one member on turns the rest off.
+	if nw {
+		if v, ok := w.Get("radioGroup"); ok {
+			if leader, ok := v.(*xt.Widget); ok && leader != nil {
+				for _, name := range w.App().WidgetNames() {
+					other := w.App().WidgetByName(name)
+					if other == nil || other == w || other.Class != w.Class {
+						continue
+					}
+					if g, ok := other.Get("radioGroup"); ok {
+						if gw, ok := g.(*xt.Widget); ok && gw == leader && other.Bool("state") {
+							other.SetResourceValue("state", false)
+							other.Redraw()
+						}
+					}
+				}
+			}
+		}
+	}
+	w.Redraw()
+}
+
+func toggleRedisplay(w *xt.Widget) {
+	labelRedisplay(w)
+	d := w.Display()
+	gc := d.NewGC()
+	if w.Bool("state") {
+		gc.Foreground = w.PixelRes("foreground")
+		d.DrawRectangle(w.Window(), gc, 0, 0, w.Int("width")-1, w.Int("height")-1)
+		d.DrawRectangle(w.Window(), gc, 1, 1, w.Int("width")-3, w.Int("height")-3)
+	}
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// MenuButtonClass pops up a named menu shell; its PopupMenu action is
+// the one the paper rebinds to <EnterWindow>.
+var MenuButtonClass = &xt.Class{
+	Name:  "MenuButton",
+	Super: CommandClass,
+	Resources: []xt.Resource{
+		{Name: "menuName", Class: "MenuName", Type: xt.TString, Default: "menu"},
+	},
+	DefaultTranslations: `<EnterWindow>: highlight()
+<LeaveWindow>: reset()
+<Btn1Down>: reset() PopupMenu()`,
+	Actions: map[string]xt.ActionProc{
+		"PopupMenu": actionPopupMenu,
+	},
+	PreferredSize: labelPreferredSize,
+	Redisplay:     commandRedisplay,
+}
+
+func actionPopupMenu(w *xt.Widget, ev *xproto.Event, _ []string) {
+	menu := w.App().WidgetByName(w.Str("menuName"))
+	if menu == nil || !menu.Class.Shell {
+		return
+	}
+	// Place under the button.
+	if ev != nil {
+		_ = menu.PositionShell(ev.XRoot, ev.YRoot)
+	}
+	_ = menu.Popup(xt.GrabExclusive)
+}

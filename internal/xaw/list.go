@@ -1,0 +1,215 @@
+package xaw
+
+import (
+	"strconv"
+
+	"wafe/internal/xproto"
+	"wafe/internal/xt"
+)
+
+// ListClass shows a list of strings in columns; selecting an item runs
+// the callback with the Athena XawListReturnStruct, which the Wafe
+// layer exposes through the %i (index) and %s (string) percent codes.
+var ListClass = &xt.Class{
+	Name:  "List",
+	Super: SimpleClass,
+	Resources: []xt.Resource{
+		{Name: "foreground", Class: "Foreground", Type: xt.TPixel, Default: "XtDefaultForeground"},
+		{Name: "font", Class: "Font", Type: xt.TFont, Default: "fixed"},
+		{Name: "list", Class: "List", Type: xt.TStringList, Default: ""},
+		{Name: "numberStrings", Class: "NumberStrings", Type: xt.TInt, Default: "0"},
+		{Name: "defaultColumns", Class: "Columns", Type: xt.TInt, Default: "2"},
+		{Name: "forceColumns", Class: "Columns", Type: xt.TBoolean, Default: "False"},
+		{Name: "internalWidth", Class: "Width", Type: xt.TDimension, Default: "2"},
+		{Name: "internalHeight", Class: "Height", Type: xt.TDimension, Default: "2"},
+		{Name: "columnSpacing", Class: "Spacing", Type: xt.TDimension, Default: "6"},
+		{Name: "rowSpacing", Class: "Spacing", Type: xt.TDimension, Default: "2"},
+		{Name: "verticalList", Class: "Boolean", Type: xt.TBoolean, Default: "False"},
+		{Name: "pasteBuffer", Class: "Boolean", Type: xt.TBoolean, Default: "False"},
+		{Name: "callback", Class: "Callback", Type: xt.TCallback, Default: ""},
+	},
+	DefaultTranslations: `<Btn1Down>: Set()
+<Btn1Up>: Notify()`,
+	Actions: map[string]xt.ActionProc{
+		"Set":    listActionSet,
+		"Unset":  listActionUnset,
+		"Notify": listActionNotify,
+	},
+	PreferredSize: listPreferredSize,
+	Redisplay:     listRedisplay,
+	SetValues: func(w *xt.Widget, changed map[string]bool) {
+		if changed["list"] {
+			listState(w).highlight = -1
+			if !w.Explicit("width") {
+				pw, ph := listPreferredSize(w)
+				w.RequestResize(pw, ph)
+			}
+		}
+	},
+}
+
+type listPrivate struct {
+	highlight int
+}
+
+func listState(w *xt.Widget) *listPrivate {
+	st, ok := w.Private.(*listPrivate)
+	if !ok {
+		st = &listPrivate{highlight: -1}
+		w.Private = st
+	}
+	return st
+}
+
+// ListReturn is XawListReturnStruct.
+type ListReturn struct {
+	String string
+	Index  int
+}
+
+func listItems(w *xt.Widget) []string {
+	items := w.StringList("list")
+	if n := w.Int("numberStrings"); n > 0 && n < len(items) {
+		items = items[:n]
+	}
+	return items
+}
+
+// listColumns returns the effective column count.
+func listColumns(w *xt.Widget) int {
+	cols := w.Int("defaultColumns")
+	if w.Bool("verticalList") {
+		cols = 1
+	}
+	if cols < 1 {
+		cols = 1
+	}
+	return cols
+}
+
+// listCellSize computes a uniform cell size from the longest item.
+func listCellSize(w *xt.Widget) (int, int) {
+	f := w.FontRes("font")
+	maxW := 1
+	for _, it := range listItems(w) {
+		if tw := f.TextWidth(it); tw > maxW {
+			maxW = tw
+		}
+	}
+	return maxW, f.Height()
+}
+
+func listPreferredSize(w *xt.Widget) (int, int) {
+	items := listItems(w)
+	cols := listColumns(w)
+	rows := (len(items) + cols - 1) / cols
+	if rows < 1 {
+		rows = 1
+	}
+	cw, ch := listCellSize(w)
+	width := cols*cw + (cols-1)*w.Int("columnSpacing") + 2*w.Int("internalWidth")
+	height := rows*ch + (rows-1)*w.Int("rowSpacing") + 2*w.Int("internalHeight")
+	return width, height
+}
+
+// listIndexAt maps window coordinates to an item index (-1 outside).
+func listIndexAt(w *xt.Widget, x, y int) int {
+	items := listItems(w)
+	cols := listColumns(w)
+	cw, ch := listCellSize(w)
+	col := (x - w.Int("internalWidth")) / (cw + w.Int("columnSpacing"))
+	row := (y - w.Int("internalHeight")) / (ch + w.Int("rowSpacing"))
+	if col < 0 || row < 0 || col >= cols {
+		return -1
+	}
+	idx := row*cols + col
+	if idx >= len(items) {
+		return -1
+	}
+	return idx
+}
+
+func listActionSet(w *xt.Widget, ev *xproto.Event, _ []string) {
+	idx := listIndexAt(w, ev.X, ev.Y)
+	listState(w).highlight = idx
+	w.Redraw()
+}
+
+func listActionUnset(w *xt.Widget, _ *xproto.Event, _ []string) {
+	listState(w).highlight = -1
+	w.Redraw()
+}
+
+func listActionNotify(w *xt.Widget, ev *xproto.Event, _ []string) {
+	idx := listState(w).highlight
+	items := listItems(w)
+	if idx < 0 || idx >= len(items) {
+		return
+	}
+	w.CallCallbacks("callback", xt.CallData{
+		"i": strconv.Itoa(idx),
+		"s": items[idx],
+	})
+}
+
+// ListHighlight implements XawListHighlight.
+func ListHighlight(w *xt.Widget, index int) {
+	listState(w).highlight = index
+	w.Redraw()
+}
+
+// ListUnhighlight implements XawListUnhighlight.
+func ListUnhighlight(w *xt.Widget) {
+	listState(w).highlight = -1
+	w.Redraw()
+}
+
+// ListCurrent implements XawListShowCurrent.
+func ListCurrent(w *xt.Widget) ListReturn {
+	idx := listState(w).highlight
+	items := listItems(w)
+	if idx < 0 || idx >= len(items) {
+		return ListReturn{Index: -1}
+	}
+	return ListReturn{String: items[idx], Index: idx}
+}
+
+// ListChange implements XawListChange: replace the items.
+func ListChange(w *xt.Widget, items []string, resize bool) {
+	w.SetResourceValue("list", append([]string(nil), items...))
+	listState(w).highlight = -1
+	if resize && !w.Explicit("width") {
+		pw, ph := listPreferredSize(w)
+		w.RequestResize(pw, ph)
+	}
+	w.Redraw()
+}
+
+func listRedisplay(w *xt.Widget) {
+	d := w.Display()
+	win := w.Window()
+	gc := d.NewGC()
+	gc.Foreground = w.PixelRes("background")
+	d.FillRectangle(win, gc, 0, 0, w.Int("width"), w.Int("height"))
+	gc.Foreground = w.PixelRes("foreground")
+	gc.Font = w.FontRes("font")
+	items := listItems(w)
+	cols := listColumns(w)
+	cw, ch := listCellSize(w)
+	hl := listState(w).highlight
+	for i, it := range items {
+		col := i % cols
+		row := i / cols
+		x := w.Int("internalWidth") + col*(cw+w.Int("columnSpacing"))
+		y := w.Int("internalHeight") + row*(ch+w.Int("rowSpacing"))
+		if i == hl {
+			d.FillRectangle(win, gc, x-1, y, cw+2, ch)
+			inv := d.NewGC()
+			inv.Foreground = w.PixelRes("background")
+			inv.Font = gc.Font
+			d.DrawString(win, inv, x, y+gc.Font.Ascent, it)
+			continue
+		}
+		d.DrawString(win, gc, x, y+gc.Font.Ascent, it)
+	}
+}

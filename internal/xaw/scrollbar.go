@@ -1,0 +1,226 @@
+package xaw
+
+import (
+	"fmt"
+	"strconv"
+
+	"wafe/internal/xproto"
+	"wafe/internal/xt"
+)
+
+// ScrollbarClass provides a thumb with jumpProc (fractional position)
+// and scrollProc (incremental pixels) callbacks.
+var ScrollbarClass = &xt.Class{
+	Name:  "Scrollbar",
+	Super: SimpleClass,
+	Resources: []xt.Resource{
+		{Name: "foreground", Class: "Foreground", Type: xt.TPixel, Default: "XtDefaultForeground"},
+		{Name: "orientation", Class: "Orientation", Type: xt.TOrientation, Default: "vertical"},
+		{Name: "length", Class: "Length", Type: xt.TDimension, Default: "100"},
+		{Name: "thickness", Class: "Thickness", Type: xt.TDimension, Default: "14"},
+		{Name: "shown", Class: "Shown", Type: xt.TFloat, Default: "0.1"},
+		{Name: "topOfThumb", Class: "TopOfThumb", Type: xt.TFloat, Default: "0"},
+		{Name: "minimumThumb", Class: "MinimumThumb", Type: xt.TDimension, Default: "7"},
+		{Name: "scrollProc", Class: "Callback", Type: xt.TCallback, Default: ""},
+		{Name: "jumpProc", Class: "Callback", Type: xt.TCallback, Default: ""},
+	},
+	DefaultTranslations: `<Btn1Down>: StartScroll(Forward)
+<Btn3Down>: StartScroll(Backward)
+<Btn2Down>: StartScroll(Continuous) MoveThumb() NotifyThumb()
+<Btn2Motion>: MoveThumb() NotifyThumb()
+<BtnUp>: NotifyScroll(Proportional) EndScroll()`,
+	Actions: map[string]xt.ActionProc{
+		"StartScroll":  scrollbarStartScroll,
+		"MoveThumb":    scrollbarMoveThumb,
+		"NotifyThumb":  scrollbarNotifyThumb,
+		"NotifyScroll": scrollbarNotifyScroll,
+		"EndScroll":    func(w *xt.Widget, _ *xproto.Event, _ []string) {},
+	},
+	PreferredSize: func(w *xt.Widget) (int, int) {
+		if w.Str("orientation") == "horizontal" {
+			return w.Int("length"), w.Int("thickness")
+		}
+		return w.Int("thickness"), w.Int("length")
+	},
+	Redisplay: scrollbarRedisplay,
+}
+
+type scrollbarPrivate struct {
+	mode string // Forward, Backward, Continuous
+}
+
+func sbState(w *xt.Widget) *scrollbarPrivate {
+	st, ok := w.Private.(*scrollbarPrivate)
+	if !ok {
+		st = &scrollbarPrivate{}
+		w.Private = st
+	}
+	return st
+}
+
+func sbFloat(w *xt.Widget, name string) float64 {
+	if v, ok := w.Get(name); ok {
+		if f, ok := v.(float64); ok {
+			return f
+		}
+	}
+	return 0
+}
+
+func sbLengthPixels(w *xt.Widget) int {
+	if w.Str("orientation") == "horizontal" {
+		return maxInt(w.Int("width"), 1)
+	}
+	return maxInt(w.Int("height"), 1)
+}
+
+func sbEventPos(w *xt.Widget, ev *xproto.Event) int {
+	if w.Str("orientation") == "horizontal" {
+		return ev.X
+	}
+	return ev.Y
+}
+
+func scrollbarStartScroll(w *xt.Widget, _ *xproto.Event, params []string) {
+	if len(params) > 0 {
+		sbState(w).mode = params[0]
+	}
+}
+
+func scrollbarMoveThumb(w *xt.Widget, ev *xproto.Event, _ []string) {
+	frac := float64(sbEventPos(w, ev)) / float64(sbLengthPixels(w))
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	w.SetResourceValue("topOfThumb", frac)
+	w.Redraw()
+}
+
+func scrollbarNotifyThumb(w *xt.Widget, _ *xproto.Event, _ []string) {
+	frac := sbFloat(w, "topOfThumb")
+	w.CallCallbacks("jumpProc", xt.CallData{"f": fmt.Sprintf("%g", frac)})
+}
+
+func scrollbarNotifyScroll(w *xt.Widget, ev *xproto.Event, _ []string) {
+	pos := sbEventPos(w, ev)
+	delta := pos
+	if sbState(w).mode == "Backward" {
+		delta = -pos
+	}
+	w.CallCallbacks("scrollProc", xt.CallData{"d": strconv.Itoa(delta)})
+}
+
+// ScrollbarSetThumb implements XawScrollbarSetThumb.
+func ScrollbarSetThumb(w *xt.Widget, top, shown float64) {
+	w.SetResourceValue("topOfThumb", top)
+	w.SetResourceValue("shown", shown)
+	w.Redraw()
+}
+
+func scrollbarRedisplay(w *xt.Widget) {
+	d := w.Display()
+	gc := d.NewGC()
+	gc.Foreground = w.PixelRes("background")
+	d.FillRectangle(w.Window(), gc, 0, 0, w.Int("width"), w.Int("height"))
+	gc.Foreground = w.PixelRes("foreground")
+	length := sbLengthPixels(w)
+	top := int(sbFloat(w, "topOfThumb") * float64(length))
+	size := maxInt(int(sbFloat(w, "shown")*float64(length)), w.Int("minimumThumb"))
+	if w.Str("orientation") == "horizontal" {
+		d.FillRectangle(w.Window(), gc, top, 1, size, w.Int("height")-2)
+	} else {
+		d.FillRectangle(w.Window(), gc, 1, top, w.Int("width")-2, size)
+	}
+}
+
+// GripClass is the Paned grip: a small square with a callback.
+var GripClass = &xt.Class{
+	Name:  "Grip",
+	Super: SimpleClass,
+	Resources: []xt.Resource{
+		{Name: "callback", Class: "Callback", Type: xt.TCallback, Default: ""},
+		{Name: "gripIndent", Class: "GripIndent", Type: xt.TPosition, Default: "10"},
+	},
+	DefaultTranslations: `<Btn1Down>: GripAction(press)
+<Btn1Up>: GripAction(release)`,
+	Actions: map[string]xt.ActionProc{
+		"GripAction": func(w *xt.Widget, _ *xproto.Event, params []string) {
+			data := xt.CallData{}
+			if len(params) > 0 {
+				data["action"] = params[0]
+			}
+			w.CallCallbacks("callback", data)
+		},
+	},
+	PreferredSize: func(w *xt.Widget) (int, int) { return 8, 8 },
+}
+
+// StripChartClass samples a value via its getValue callback at a fixed
+// interval and scrolls the resulting graph (used by xnetstats-style
+// monitors).
+var StripChartClass = &xt.Class{
+	Name:  "StripChart",
+	Super: SimpleClass,
+	Resources: []xt.Resource{
+		{Name: "foreground", Class: "Foreground", Type: xt.TPixel, Default: "XtDefaultForeground"},
+		{Name: "highlight", Class: "Foreground", Type: xt.TPixel, Default: "XtDefaultForeground"},
+		{Name: "getValue", Class: "Callback", Type: xt.TCallback, Default: ""},
+		{Name: "update", Class: "Interval", Type: xt.TInt, Default: "10"},
+		{Name: "minScale", Class: "Scale", Type: xt.TInt, Default: "1"},
+		{Name: "jumpScroll", Class: "JumpScroll", Type: xt.TDimension, Default: "8"},
+	},
+	PreferredSize: func(w *xt.Widget) (int, int) { return 120, 40 },
+	Redisplay:     stripChartRedisplay,
+}
+
+type stripChartPrivate struct {
+	samples []float64
+}
+
+func chartState(w *xt.Widget) *stripChartPrivate {
+	st, ok := w.Private.(*stripChartPrivate)
+	if !ok {
+		st = &stripChartPrivate{}
+		w.Private = st
+	}
+	return st
+}
+
+// StripChartAddSample records a sample and scrolls the chart. The Wafe
+// layer drives it from the getValue callback on a timer.
+func StripChartAddSample(w *xt.Widget, v float64) {
+	st := chartState(w)
+	st.samples = append(st.samples, v)
+	if max := maxInt(w.Int("width"), 1); len(st.samples) > max {
+		st.samples = st.samples[len(st.samples)-max:]
+	}
+	w.Redraw()
+}
+
+// StripChartSamples returns the recorded samples (for tests).
+func StripChartSamples(w *xt.Widget) []float64 {
+	return append([]float64(nil), chartState(w).samples...)
+}
+
+func stripChartRedisplay(w *xt.Widget) {
+	d := w.Display()
+	gc := d.NewGC()
+	gc.Foreground = w.PixelRes("background")
+	d.FillRectangle(w.Window(), gc, 0, 0, w.Int("width"), w.Int("height"))
+	gc.Foreground = w.PixelRes("foreground")
+	st := chartState(w)
+	scale := float64(w.Int("minScale"))
+	for _, s := range st.samples {
+		if s > scale {
+			scale = s
+		}
+	}
+	h := w.Int("height")
+	for i, s := range st.samples {
+		bar := int(s / scale * float64(h-2))
+		d.DrawLine(w.Window(), gc, i, h-1, i, h-1-bar)
+	}
+}

@@ -1,0 +1,62 @@
+// Package xaw implements the Athena widget set (Xaw) — plus the Xaw3d
+// shadow resources the paper measures ("42 resources ... using the
+// X11R5 Xaw3d libraries") — on top of the Intrinsics in internal/xt.
+//
+// Resource names follow the Xaw programmatic interface exactly (label,
+// fromVert, callback, ...) so the scripts printed in the paper run
+// unmodified through the Wafe command layer.
+package xaw
+
+import (
+	"wafe/internal/xt"
+)
+
+// SimpleClass is the Xaw Simple widget: the common superclass adding
+// cursor and (in the Xaw3d variant Wafe links against) shadow
+// resources.
+var SimpleClass = &xt.Class{
+	Name:  "Simple",
+	Super: xt.CoreClass,
+	Resources: []xt.Resource{
+		{Name: "cursor", Class: "Cursor", Type: xt.TCursor, Default: ""},
+		{Name: "cursorName", Class: "Cursor", Type: xt.TString, Default: ""},
+		{Name: "insensitiveBorder", Class: "Insensitive", Type: xt.TPixmap, Default: ""},
+		{Name: "pointerColor", Class: "Foreground", Type: xt.TPixel, Default: "XtDefaultForeground"},
+		{Name: "pointerColorBackground", Class: "Background", Type: xt.TPixel, Default: "XtDefaultBackground"},
+		// Xaw3d three-d resources.
+		{Name: "shadowWidth", Class: "ShadowWidth", Type: xt.TDimension, Default: "2"},
+		{Name: "topShadowPixel", Class: "TopShadowPixel", Type: xt.TPixel, Default: "gray90"},
+		{Name: "bottomShadowPixel", Class: "BottomShadowPixel", Type: xt.TPixel, Default: "gray50"},
+		{Name: "topShadowPixmap", Class: "TopShadowPixmap", Type: xt.TPixmap, Default: ""},
+		{Name: "bottomShadowPixmap", Class: "BottomShadowPixmap", Type: xt.TPixmap, Default: ""},
+		{Name: "topShadowContrast", Class: "TopShadowContrast", Type: xt.TInt, Default: "20"},
+		{Name: "bottomShadowContrast", Class: "BottomShadowContrast", Type: xt.TInt, Default: "40"},
+		{Name: "beNiceToColormap", Class: "BeNiceToColormap", Type: xt.TBoolean, Default: "False"},
+	},
+}
+
+// AllClasses returns every Athena widget class this package provides,
+// in a stable order; the Wafe layer derives creation commands from it.
+func AllClasses() []*xt.Class {
+	return []*xt.Class{
+		SimpleClass,
+		LabelClass,
+		CommandClass,
+		ToggleClass,
+		MenuButtonClass,
+		FormClass,
+		BoxClass,
+		PanedClass,
+		ListClass,
+		AsciiTextClass,
+		ScrollbarClass,
+		ViewportClass,
+		DialogClass,
+		SimpleMenuClass,
+		SmeClass,
+		SmeBSBClass,
+		SmeLineClass,
+		StripChartClass,
+		GripClass,
+	}
+}

@@ -1,0 +1,368 @@
+package xaw
+
+import (
+	"os"
+	"strings"
+
+	"wafe/internal/xproto"
+	"wafe/internal/xt"
+)
+
+// AsciiTextClass is the Athena text widget in its ascii-string flavour:
+// an editable buffer exposed through the "string" resource, which the
+// paper's prime-factor demo reads with "gV input string" and the mass-
+// transfer example writes with "sv text ... string $C".
+var AsciiTextClass = &xt.Class{
+	Name:  "AsciiText",
+	Super: SimpleClass,
+	Resources: []xt.Resource{
+		{Name: "foreground", Class: "Foreground", Type: xt.TPixel, Default: "XtDefaultForeground"},
+		{Name: "font", Class: "Font", Type: xt.TFont, Default: "fixed"},
+		{Name: "string", Class: "String", Type: xt.TString, Default: ""},
+		{Name: "editType", Class: "EditType", Type: xt.TString, Default: "read"},
+		{Name: "type", Class: "Type", Type: xt.TString, Default: "string"},
+		{Name: "length", Class: "Length", Type: xt.TInt, Default: "0"},
+		{Name: "useStringInPlace", Class: "Boolean", Type: xt.TBoolean, Default: "False"},
+		{Name: "insertPosition", Class: "TextPosition", Type: xt.TInt, Default: "0"},
+		{Name: "displayCaret", Class: "Output", Type: xt.TBoolean, Default: "True"},
+		{Name: "scrollVertical", Class: "Scroll", Type: xt.TString, Default: "never"},
+		{Name: "scrollHorizontal", Class: "Scroll", Type: xt.TString, Default: "never"},
+		{Name: "autoFill", Class: "AutoFill", Type: xt.TBoolean, Default: "False"},
+		{Name: "wrap", Class: "Wrap", Type: xt.TString, Default: "never"},
+	},
+	DefaultTranslations: `<Key>Return: newline()
+<Key>BackSpace: delete-previous-character()
+<Key>Delete: delete-previous-character()
+<Key>Left: backward-character()
+<Key>Right: forward-character()
+<KeyPress>: insert-char()
+<Btn1Down>: select-start()
+<Btn1Motion>: extend-adjust()
+<Btn1Up>: select-end(PRIMARY)
+<Btn2Down>: insert-selection(PRIMARY)`,
+	Actions: map[string]xt.ActionProc{
+		"insert-char":               textInsertChar,
+		"newline":                   textNewline,
+		"delete-previous-character": textDeletePrev,
+		"backward-character":        textBackward,
+		"forward-character":         textForward,
+		"beginning-of-line":         textBOL,
+		"end-of-line":               textEOL,
+		"kill-to-end-of-line":       textKillEOL,
+		"select-start":              textSelectStart,
+		"extend-adjust":             textExtendAdjust,
+		"select-end":                textSelectEnd,
+		"insert-selection":          textInsertSelection,
+	},
+	PreferredSize: textPreferredSize,
+	Redisplay:     textRedisplay,
+	SetValues: func(w *xt.Widget, changed map[string]bool) {
+		if changed["string"] {
+			// Clamp the caret into the new buffer.
+			n := len(w.Str("string"))
+			if w.Int("insertPosition") > n {
+				w.SetResourceValue("insertPosition", n)
+			}
+		}
+	},
+}
+
+func textEditable(w *xt.Widget) bool {
+	if strings.EqualFold(w.Str("type"), "file") {
+		return false // file sources display read-only here
+	}
+	return strings.EqualFold(w.Str("editType"), "edit") || strings.EqualFold(w.Str("editType"), "append")
+}
+
+// textPrivate holds the per-instance text state: the loaded-file cache
+// for type=file widgets and the active selection.
+type textPrivate struct {
+	loadedFrom string
+	content    string
+	loadErr    string
+
+	selAnchor, selStart, selEnd int
+	selecting                   bool
+}
+
+func textState(w *xt.Widget) *textPrivate {
+	st, ok := w.Private.(*textPrivate)
+	if !ok {
+		st = &textPrivate{}
+		w.Private = st
+	}
+	return st
+}
+
+// TextBuffer returns the text the widget displays: the string resource
+// itself, or — for type=file — the contents of the named file.
+func TextBuffer(w *xt.Widget) string {
+	if !strings.EqualFold(w.Str("type"), "file") {
+		return w.Str("string")
+	}
+	st := textState(w)
+	name := w.Str("string")
+	if st.loadedFrom != name {
+		st.loadedFrom = name
+		st.content = ""
+		st.loadErr = ""
+		if name != "" {
+			data, err := os.ReadFile(name)
+			if err != nil {
+				st.loadErr = "[cannot read " + name + "]"
+			} else {
+				st.content = string(data)
+			}
+		}
+	}
+	if st.loadErr != "" {
+		return st.loadErr
+	}
+	return st.content
+}
+
+func textInsertChar(w *xt.Widget, ev *xproto.Event, _ []string) {
+	if !textEditable(w) || ev == nil || ev.Rune == 0 {
+		return
+	}
+	if ev.Rune < 0x20 && ev.Rune != '\t' {
+		return
+	}
+	insertText(w, string(ev.Rune))
+}
+
+func insertText(w *xt.Widget, s string) {
+	buf := w.Str("string")
+	pos := clamp(w.Int("insertPosition"), 0, len(buf))
+	w.SetResourceValue("string", buf[:pos]+s+buf[pos:])
+	w.SetResourceValue("insertPosition", pos+len(s))
+	w.Redraw()
+}
+
+func textNewline(w *xt.Widget, _ *xproto.Event, _ []string) {
+	if !textEditable(w) {
+		return
+	}
+	insertText(w, "\n")
+}
+
+func textDeletePrev(w *xt.Widget, _ *xproto.Event, _ []string) {
+	if !textEditable(w) {
+		return
+	}
+	buf := w.Str("string")
+	pos := clamp(w.Int("insertPosition"), 0, len(buf))
+	if pos == 0 {
+		return
+	}
+	w.SetResourceValue("string", buf[:pos-1]+buf[pos:])
+	w.SetResourceValue("insertPosition", pos-1)
+	w.Redraw()
+}
+
+func textBackward(w *xt.Widget, _ *xproto.Event, _ []string) {
+	if p := w.Int("insertPosition"); p > 0 {
+		w.SetResourceValue("insertPosition", p-1)
+	}
+}
+
+func textForward(w *xt.Widget, _ *xproto.Event, _ []string) {
+	if p := w.Int("insertPosition"); p < len(w.Str("string")) {
+		w.SetResourceValue("insertPosition", p+1)
+	}
+}
+
+func textBOL(w *xt.Widget, _ *xproto.Event, _ []string) {
+	buf := w.Str("string")
+	pos := clamp(w.Int("insertPosition"), 0, len(buf))
+	for pos > 0 && buf[pos-1] != '\n' {
+		pos--
+	}
+	w.SetResourceValue("insertPosition", pos)
+}
+
+func textEOL(w *xt.Widget, _ *xproto.Event, _ []string) {
+	buf := w.Str("string")
+	pos := clamp(w.Int("insertPosition"), 0, len(buf))
+	for pos < len(buf) && buf[pos] != '\n' {
+		pos++
+	}
+	w.SetResourceValue("insertPosition", pos)
+}
+
+func textKillEOL(w *xt.Widget, _ *xproto.Event, _ []string) {
+	if !textEditable(w) {
+		return
+	}
+	buf := w.Str("string")
+	pos := clamp(w.Int("insertPosition"), 0, len(buf))
+	end := pos
+	for end < len(buf) && buf[end] != '\n' {
+		end++
+	}
+	if end == pos && end < len(buf) {
+		end++ // kill the newline itself
+	}
+	w.SetResourceValue("string", buf[:pos]+buf[end:])
+	w.Redraw()
+}
+
+// textPosAt maps window coordinates to a buffer offset.
+func textPosAt(w *xt.Widget, x, y int) int {
+	f := w.FontRes("font")
+	buf := TextBuffer(w)
+	row := (y - 2) / f.Height()
+	col := (x - 2 + f.Width/2) / f.Width
+	if row < 0 {
+		return 0
+	}
+	lines := strings.Split(buf, "\n")
+	if row >= len(lines) {
+		return len(buf)
+	}
+	pos := 0
+	for i := 0; i < row; i++ {
+		pos += len(lines[i]) + 1
+	}
+	return pos + clamp(col, 0, len(lines[row]))
+}
+
+func textSelectStart(w *xt.Widget, ev *xproto.Event, _ []string) {
+	st := textState(w)
+	p := textPosAt(w, ev.X, ev.Y)
+	st.selAnchor, st.selStart, st.selEnd = p, p, p
+	st.selecting = true
+	w.SetResourceValue("insertPosition", p)
+	// Clicking a text widget gives it keyboard focus.
+	w.Display().SetInputFocus(w.Window())
+}
+
+func textExtendAdjust(w *xt.Widget, ev *xproto.Event, _ []string) {
+	st := textState(w)
+	if !st.selecting {
+		return
+	}
+	p := textPosAt(w, ev.X, ev.Y)
+	if p < st.selAnchor {
+		st.selStart, st.selEnd = p, st.selAnchor
+	} else {
+		st.selStart, st.selEnd = st.selAnchor, p
+	}
+	w.Redraw()
+}
+
+// textSelectEnd completes the selection and asserts ownership of the
+// named selection (PRIMARY by default) through the Xt selection
+// mechanism.
+func textSelectEnd(w *xt.Widget, ev *xproto.Event, params []string) {
+	st := textState(w)
+	if !st.selecting {
+		return
+	}
+	st.selecting = false
+	if ev != nil {
+		textExtendAdjustFinal(w, ev)
+	}
+	if st.selStart >= st.selEnd {
+		return
+	}
+	sel := "PRIMARY"
+	if len(params) > 0 && params[0] != "" {
+		sel = params[0]
+	}
+	widget := w
+	w.Display().OwnSelection(sel, w.Window(), func(target string) (string, bool) {
+		s := textState(widget)
+		buf := TextBuffer(widget)
+		if s.selStart >= s.selEnd || s.selEnd > len(buf) {
+			return "", false
+		}
+		return buf[s.selStart:s.selEnd], true
+	})
+}
+
+func textExtendAdjustFinal(w *xt.Widget, ev *xproto.Event) {
+	st := textState(w)
+	p := textPosAt(w, ev.X, ev.Y)
+	if p < st.selAnchor {
+		st.selStart, st.selEnd = p, st.selAnchor
+	} else {
+		st.selStart, st.selEnd = st.selAnchor, p
+	}
+}
+
+// textInsertSelection pastes the named selection at the event position.
+func textInsertSelection(w *xt.Widget, ev *xproto.Event, params []string) {
+	if !textEditable(w) {
+		return
+	}
+	sel := "PRIMARY"
+	if len(params) > 0 && params[0] != "" {
+		sel = params[0]
+	}
+	v, ok := w.Display().ConvertSelection(sel, "STRING")
+	if !ok {
+		return
+	}
+	if ev != nil {
+		w.SetResourceValue("insertPosition", textPosAt(w, ev.X, ev.Y))
+	}
+	insertText(w, v)
+}
+
+// TextSelection returns the widget's current selection range and text.
+func TextSelection(w *xt.Widget) (start, end int, text string) {
+	st := textState(w)
+	buf := TextBuffer(w)
+	if st.selStart >= st.selEnd || st.selEnd > len(buf) {
+		return 0, 0, ""
+	}
+	return st.selStart, st.selEnd, buf[st.selStart:st.selEnd]
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func textPreferredSize(w *xt.Widget) (int, int) {
+	f := w.FontRes("font")
+	lines := strings.Split(TextBuffer(w), "\n")
+	maxW := 100
+	for _, l := range lines {
+		if tw := f.TextWidth(l); tw > maxW {
+			maxW = tw
+		}
+	}
+	return maxW + 4, maxInt(len(lines), 1)*f.Height() + 4
+}
+
+func textRedisplay(w *xt.Widget) {
+	d := w.Display()
+	win := w.Window()
+	gc := d.NewGC()
+	gc.Foreground = w.PixelRes("background")
+	d.FillRectangle(win, gc, 0, 0, w.Int("width"), w.Int("height"))
+	gc.Foreground = w.PixelRes("foreground")
+	gc.Font = w.FontRes("font")
+	y := 2 + gc.Font.Ascent
+	for _, line := range strings.Split(TextBuffer(w), "\n") {
+		d.DrawString(win, gc, 2, y, line)
+		y += gc.Font.Height()
+	}
+	// Caret as a one-pixel line at the insert position.
+	if w.Bool("displayCaret") && textEditable(w) {
+		buf := w.Str("string")
+		pos := clamp(w.Int("insertPosition"), 0, len(buf))
+		row := strings.Count(buf[:pos], "\n")
+		colStart := strings.LastIndexByte(buf[:pos], '\n') + 1
+		cx := 2 + gc.Font.TextWidth(buf[colStart:pos])
+		cy := 2 + row*gc.Font.Height()
+		d.DrawLine(win, gc, cx, cy, cx, cy+gc.Font.Height()-1)
+	}
+}

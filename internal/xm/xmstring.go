@@ -1,0 +1,202 @@
+// Package xm implements the OSF/Motif widget subset Wafe's Motif build
+// (mofe) exposes: compound strings (XmString) with font and writing-
+// direction segments, a font list with tags, and the m-prefixed widget
+// classes the paper's examples use (XmLabel, XmPushButton,
+// XmCascadeButton, XmRowColumn, XmText, XmCommand).
+package xm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Segment is one run of an XmString: text rendered with one font tag in
+// one writing direction.
+type Segment struct {
+	Text      string
+	FontTag   string // "" = default tag (first entry of the font list)
+	Direction string // "ltr" (default) or "rtl"
+}
+
+// XmString is Motif's compound string.
+type XmString struct {
+	Segments []Segment
+	source   string
+}
+
+// Source returns the original Wafe-syntax string.
+func (s *XmString) Source() string {
+	if s == nil {
+		return ""
+	}
+	return s.source
+}
+
+// PlainText concatenates the segment texts (rtl segments reversed, as
+// they would render).
+func (s *XmString) PlainText() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, seg := range s.Segments {
+		if seg.Direction == "rtl" {
+			r := []rune(seg.Text)
+			for i, j := 0, len(r)-1; i < j; i, j = i+1, j-1 {
+				r[i], r[j] = r[j], r[i]
+			}
+			b.WriteString(string(r))
+			continue
+		}
+		b.WriteString(seg.Text)
+	}
+	return b.String()
+}
+
+// FontList maps tags to font name patterns, parsed from the Motif
+// fontList resource syntax the paper shows:
+//
+//	*b&h-lucida-medium-r*14*=ft,*b&h-lucida-bold-r*14*=bft
+type FontList struct {
+	Entries []FontListEntry
+	source  string
+}
+
+// FontListEntry is one pattern=tag pair.
+type FontListEntry struct {
+	Pattern string
+	Tag     string
+}
+
+// Source returns the original resource string.
+func (fl *FontList) Source() string {
+	if fl == nil {
+		return ""
+	}
+	return fl.source
+}
+
+// Lookup resolves a tag to its font pattern; ok is false for unknown
+// tags.
+func (fl *FontList) Lookup(tag string) (string, bool) {
+	if fl == nil {
+		return "", false
+	}
+	for _, e := range fl.Entries {
+		if e.Tag == tag {
+			return e.Pattern, true
+		}
+	}
+	return "", false
+}
+
+// DefaultTag returns the first tag in the list ("" when empty).
+func (fl *FontList) DefaultTag() string {
+	if fl == nil || len(fl.Entries) == 0 {
+		return ""
+	}
+	return fl.Entries[0].Tag
+}
+
+// Tags returns all known tags.
+func (fl *FontList) Tags() []string {
+	if fl == nil {
+		return nil
+	}
+	out := make([]string, 0, len(fl.Entries))
+	for _, e := range fl.Entries {
+		out = append(out, e.Tag)
+	}
+	return out
+}
+
+// ParseFontList parses "pattern=tag,pattern=tag". A pattern without
+// "=tag" gets the empty (default) tag.
+func ParseFontList(src string) (*FontList, error) {
+	fl := &FontList{source: src}
+	for _, part := range strings.Split(src, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.LastIndexByte(part, '=')
+		if eq < 0 {
+			fl.Entries = append(fl.Entries, FontListEntry{Pattern: part})
+			continue
+		}
+		tag := strings.TrimSpace(part[eq+1:])
+		pat := strings.TrimSpace(part[:eq])
+		if pat == "" {
+			return nil, fmt.Errorf("xm: empty font pattern in fontList entry %q", part)
+		}
+		fl.Entries = append(fl.Entries, FontListEntry{Pattern: pat, Tag: tag})
+	}
+	if len(fl.Entries) == 0 {
+		return nil, fmt.Errorf("xm: empty fontList %q", src)
+	}
+	return fl, nil
+}
+
+// ParseXmString parses Wafe's compound-string syntax: plain text with
+// "\tag" layout commands, where tag is either a font tag from the font
+// list or a direction keyword ("rl" = right-to-left, "lr" =
+// left-to-right). The paper's example:
+//
+//	"I'm\bft bold\ft and\rl strange"
+//
+// renders "I'm" in ft, " bold" in bft, " and" back in ft, and
+// " strange" right-to-left.
+func ParseXmString(src string, fl *FontList) (*XmString, error) {
+	xs := &XmString{source: src}
+	curTag := fl.DefaultTag()
+	curDir := "ltr"
+	var text strings.Builder
+	flush := func() {
+		if text.Len() > 0 {
+			xs.Segments = append(xs.Segments, Segment{Text: text.String(), FontTag: curTag, Direction: curDir})
+			text.Reset()
+		}
+	}
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		if c != '\\' {
+			text.WriteByte(c)
+			i++
+			continue
+		}
+		// Layout command: read the tag word.
+		j := i + 1
+		for j < len(src) && isTagChar(src[j]) {
+			j++
+		}
+		word := src[i+1 : j]
+		if word == "" {
+			// Literal backslash.
+			text.WriteByte('\\')
+			i++
+			continue
+		}
+		switch {
+		case word == "rl":
+			flush()
+			curDir = "rtl"
+		case word == "lr":
+			flush()
+			curDir = "ltr"
+		default:
+			if _, ok := fl.Lookup(word); !ok {
+				return nil, fmt.Errorf("xm: compound string %q references unknown font tag %q", src, word)
+			}
+			flush()
+			curTag = word
+		}
+		i = j
+	}
+	flush()
+	return xs, nil
+}
+
+func isTagChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}

@@ -1,0 +1,363 @@
+package xproto
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"sort"
+	"strings"
+)
+
+// GC is a graphics context: the drawing parameters shared by render
+// requests, as in the X protocol.
+type GC struct {
+	Foreground Pixel
+	Background Pixel
+	Font       *Font
+	LineWidth  int
+}
+
+// NewGC returns a GC with black-on-white defaults and the fixed font.
+func (d *Display) NewGC() *GC {
+	return &GC{
+		Foreground: d.BlackPixel(),
+		Background: d.WhitePixel(),
+		Font:       LoadFont("fixed"),
+		LineWidth:  1,
+	}
+}
+
+// DrawOpKind enumerates the rendering primitives.
+type DrawOpKind int
+
+const (
+	OpFillRect DrawOpKind = iota
+	OpDrawRect
+	OpDrawLine
+	OpDrawString
+	OpClear
+	OpDrawPoint
+	OpCopyPixmap
+)
+
+// DrawOp is one recorded rendering request against a window. The
+// display keeps a per-window display list so widgets' output can be
+// asserted on and snapshotted without rasterizing real glyphs.
+type DrawOp struct {
+	Kind       DrawOpKind
+	X, Y, W, H int
+	X2, Y2     int
+	Text       string
+	Color      Pixel
+	Font       string
+	Bold       bool
+	PixmapName string
+}
+
+func (d *Display) record(win WindowID, op DrawOp) {
+	d.drawLog[win] = append(d.drawLog[win], op)
+}
+
+// ClearWindow erases the window to its background and resets its
+// display list.
+func (d *Display) ClearWindow(win WindowID) {
+	w, ok := d.windows[win]
+	if !ok {
+		return
+	}
+	d.drawLog[win] = d.drawLog[win][:0]
+	d.record(win, DrawOp{Kind: OpClear, W: w.Width, H: w.Height, Color: w.Background})
+}
+
+// FillRectangle fills a rectangle in window coordinates.
+func (d *Display) FillRectangle(win WindowID, gc *GC, x, y, w, h int) {
+	d.record(win, DrawOp{Kind: OpFillRect, X: x, Y: y, W: w, H: h, Color: gc.Foreground})
+}
+
+// DrawRectangle outlines a rectangle.
+func (d *Display) DrawRectangle(win WindowID, gc *GC, x, y, w, h int) {
+	d.record(win, DrawOp{Kind: OpDrawRect, X: x, Y: y, W: w, H: h, Color: gc.Foreground})
+}
+
+// DrawLine draws a line segment.
+func (d *Display) DrawLine(win WindowID, gc *GC, x1, y1, x2, y2 int) {
+	d.record(win, DrawOp{Kind: OpDrawLine, X: x1, Y: y1, X2: x2, Y2: y2, Color: gc.Foreground})
+}
+
+// DrawPoint draws a single point.
+func (d *Display) DrawPoint(win WindowID, gc *GC, x, y int) {
+	d.record(win, DrawOp{Kind: OpDrawPoint, X: x, Y: y, Color: gc.Foreground})
+}
+
+// DrawString draws text with the GC font; (x, y) is the baseline origin
+// as in XDrawString.
+func (d *Display) DrawString(win WindowID, gc *GC, x, y int, s string) {
+	fontName := "fixed"
+	bold := false
+	if gc.Font != nil {
+		fontName = gc.Font.Name
+		bold = gc.Font.Bold
+	}
+	d.record(win, DrawOp{Kind: OpDrawString, X: x, Y: y, Text: s, Color: gc.Foreground, Font: fontName, Bold: bold})
+}
+
+// CopyPixmap records blitting a named pixmap into the window.
+func (d *Display) CopyPixmap(win WindowID, pm *Pixmap, x, y int) {
+	if pm == nil {
+		return
+	}
+	d.record(win, DrawOp{Kind: OpCopyPixmap, X: x, Y: y, W: pm.Width, H: pm.Height, PixmapName: pm.Name})
+}
+
+// DrawLogFor returns a copy of the window's display list.
+func (d *Display) DrawLogFor(win WindowID) []DrawOp {
+	ops := d.drawLog[win]
+	out := make([]DrawOp, len(ops))
+	copy(out, ops)
+	return out
+}
+
+// StringsDrawn returns all text drawn into the window, in order.
+func (d *Display) StringsDrawn(win WindowID) []string {
+	var out []string
+	for _, op := range d.drawLog[win] {
+		if op.Kind == OpDrawString {
+			out = append(out, op.Text)
+		}
+	}
+	return out
+}
+
+// --- snapshots -----------------------------------------------------------
+
+// cellW/cellH are the character-cell dimensions used to map pixel
+// geometry onto the ASCII snapshot grid (the "fixed" font metrics).
+const (
+	cellW = 6
+	cellH = 13
+)
+
+// Snapshot renders the mapped window tree into an ASCII grid: window
+// frames as box-drawing characters and strings at their pixel-derived
+// cell positions. It is deliberately lossy — its purpose is human-
+// inspectable examples and golden tests, not pixel fidelity.
+func (d *Display) Snapshot(rootOf WindowID) string {
+	w, ok := d.windows[rootOf]
+	if !ok {
+		return ""
+	}
+	cols := (w.Width + cellW - 1) / cellW
+	rows := (w.Height + cellH - 1) / cellH
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	grid := make([][]rune, rows)
+	for i := range grid {
+		grid[i] = make([]rune, cols)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	ox, oy := w.RootCoords(0, 0)
+	d.paintInto(grid, w, -ox, -oy)
+	var b strings.Builder
+	for _, row := range grid {
+		b.WriteString(strings.TrimRight(string(row), " "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (d *Display) paintInto(grid [][]rune, w *Window, dx, dy int) {
+	if !w.Mapped && w.Parent != None {
+		return
+	}
+	ax, ay := w.RootCoords(0, 0)
+	ax += dx
+	ay += dy
+	// Frame the window if it has a border.
+	if w.BorderWidth > 0 {
+		d.frame(grid, ax, ay, w.Width, w.Height)
+	}
+	// Paint recorded strings.
+	for _, op := range d.drawLog[w.ID] {
+		if op.Kind != OpDrawString {
+			continue
+		}
+		col := (ax + op.X) / cellW
+		row := (ay + op.Y) / cellH
+		d.putString(grid, row, col, op.Text)
+	}
+	for _, c := range w.Children {
+		if cw := d.windows[c]; cw != nil {
+			d.paintInto(grid, cw, dx, dy)
+		}
+	}
+}
+
+func (d *Display) frame(grid [][]rune, x, y, wpx, hpx int) {
+	c0, r0 := x/cellW, y/cellH
+	c1, r1 := (x+wpx)/cellW, (y+hpx)/cellH
+	put := func(r, c int, ch rune) {
+		if r >= 0 && r < len(grid) && c >= 0 && c < len(grid[r]) {
+			grid[r][c] = ch
+		}
+	}
+	for c := c0; c <= c1; c++ {
+		put(r0, c, '-')
+		put(r1, c, '-')
+	}
+	for r := r0; r <= r1; r++ {
+		put(r, c0, '|')
+		put(r, c1, '|')
+	}
+	put(r0, c0, '+')
+	put(r0, c1, '+')
+	put(r1, c0, '+')
+	put(r1, c1, '+')
+}
+
+func (d *Display) putString(grid [][]rune, row, col int, s string) {
+	if row < 0 || row >= len(grid) {
+		return
+	}
+	for i, r := range s {
+		c := col + i
+		if c < 0 || c >= len(grid[row]) {
+			continue
+		}
+		grid[row][c] = r
+	}
+}
+
+// RenderImage rasterizes the display list for the window subtree into
+// an RGBA image (fills, rectangles, lines; strings as baseline rules),
+// usable with image/png for example output.
+func (d *Display) RenderImage(rootOf WindowID) *image.RGBA {
+	w, ok := d.windows[rootOf]
+	if !ok {
+		return image.NewRGBA(image.Rect(0, 0, 1, 1))
+	}
+	img := image.NewRGBA(image.Rect(0, 0, w.Width, w.Height))
+	// White base.
+	for y := 0; y < w.Height; y++ {
+		for x := 0; x < w.Width; x++ {
+			img.Set(x, y, color.White)
+		}
+	}
+	ox, oy := w.RootCoords(0, 0)
+	d.renderInto(img, w, -ox, -oy)
+	return img
+}
+
+func (d *Display) renderInto(img *image.RGBA, w *Window, dx, dy int) {
+	if !w.Mapped && w.Parent != None {
+		return
+	}
+	ax, ay := w.RootCoords(0, 0)
+	ax += dx
+	ay += dy
+	set := func(x, y int, p Pixel) {
+		img.Set(x, y, color.RGBA{p.R, p.G, p.B, 255})
+	}
+	for _, op := range d.drawLog[w.ID] {
+		switch op.Kind {
+		case OpClear, OpFillRect:
+			x0, y0 := ax+op.X, ay+op.Y
+			for y := y0; y < y0+op.H; y++ {
+				for x := x0; x < x0+op.W; x++ {
+					set(x, y, op.Color)
+				}
+			}
+		case OpDrawRect:
+			x0, y0 := ax+op.X, ay+op.Y
+			for x := x0; x <= x0+op.W; x++ {
+				set(x, y0, op.Color)
+				set(x, y0+op.H, op.Color)
+			}
+			for y := y0; y <= y0+op.H; y++ {
+				set(x0, y, op.Color)
+				set(x0+op.W, y, op.Color)
+			}
+		case OpDrawLine:
+			drawLinePixels(ax+op.X, ay+op.Y, ax+op.X2, ay+op.Y2, func(x, y int) { set(x, y, op.Color) })
+		case OpDrawPoint:
+			set(ax+op.X, ay+op.Y, op.Color)
+		case OpDrawString:
+			// Text renders as an underline rule of its pixel width.
+			f := LoadFont(op.Font)
+			wpx := f.TextWidth(op.Text)
+			for x := ax + op.X; x < ax+op.X+wpx; x++ {
+				set(x, ay+op.Y+1, op.Color)
+			}
+		}
+	}
+	for _, c := range w.Children {
+		if cw := d.windows[c]; cw != nil {
+			d.renderInto(img, cw, dx, dy)
+		}
+	}
+}
+
+func drawLinePixels(x0, y0, x1, y1 int, plot func(x, y int)) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		plot(x0, y0)
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// TreeString renders the window hierarchy as an indented outline, used
+// by tests and the designer example.
+func (d *Display) TreeString() string {
+	var b strings.Builder
+	var walk func(id WindowID, depth int)
+	walk = func(id WindowID, depth int) {
+		w := d.windows[id]
+		if w == nil {
+			return
+		}
+		state := "unmapped"
+		if w.Mapped {
+			state = "mapped"
+		}
+		fmt.Fprintf(&b, "%s%d %dx%d+%d+%d %s\n", strings.Repeat("  ", depth), w.ID, w.Width, w.Height, w.X, w.Y, state)
+		kids := append([]WindowID(nil), w.Children...)
+		sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
+		for _, c := range kids {
+			walk(c, depth+1)
+		}
+	}
+	walk(d.Root, 0)
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package xproto
+
+import "strings"
+
+// Font is a fixed-metric server font. The headless server implements
+// only monospaced metrics, which is all the Athena widgets assume for
+// layout; glyph shapes exist solely in snapshots.
+type Font struct {
+	Name    string
+	Width   int // advance per character
+	Ascent  int
+	Descent int
+	Bold    bool
+}
+
+// Height returns the line height of the font.
+func (f *Font) Height() int { return f.Ascent + f.Descent }
+
+// TextWidth returns the pixel width of s in this font.
+func (f *Font) TextWidth(s string) int { return f.Width * len([]rune(s)) }
+
+// builtin font metrics, keyed by canonical short name. "fixed" matches
+// the classic 6x13 server font referenced throughout the paper era.
+var builtinFonts = map[string]Font{
+	"fixed":  {Name: "fixed", Width: 6, Ascent: 11, Descent: 2},
+	"6x13":   {Name: "6x13", Width: 6, Ascent: 11, Descent: 2},
+	"6x10":   {Name: "6x10", Width: 6, Ascent: 8, Descent: 2},
+	"8x13":   {Name: "8x13", Width: 8, Ascent: 11, Descent: 2},
+	"9x15":   {Name: "9x15", Width: 9, Ascent: 12, Descent: 3},
+	"cursor": {Name: "cursor", Width: 16, Ascent: 14, Descent: 2},
+}
+
+// LoadFont resolves a font name. XLFD patterns
+// (-foundry-family-weight-slant-*) and wildcard patterns resolve onto
+// the nearest builtin metric; the weight field selects bold. Unknown
+// names fall back to "fixed", matching the forgiving behaviour of
+// XLoadQueryFont users with a fallback.
+func LoadFont(name string) *Font {
+	n := strings.TrimSpace(name)
+	if n == "" {
+		n = "fixed"
+	}
+	if f, ok := builtinFonts[n]; ok {
+		cp := f
+		return &cp
+	}
+	lower := strings.ToLower(n)
+	f := builtinFonts["fixed"]
+	cp := f
+	cp.Name = n
+	if strings.Contains(lower, "bold") || strings.Contains(lower, "-b-") {
+		cp.Bold = true
+	}
+	// Crude size extraction from XLFD pixel-size field or trailing
+	// "NxM" geometry.
+	if strings.Contains(lower, "14") || strings.Contains(lower, "140") {
+		cp.Width, cp.Ascent, cp.Descent = 8, 11, 3
+	} else if strings.Contains(lower, "18") || strings.Contains(lower, "180") {
+		cp.Width, cp.Ascent, cp.Descent = 10, 14, 4
+	} else if strings.Contains(lower, "24") || strings.Contains(lower, "240") {
+		cp.Width, cp.Ascent, cp.Descent = 12, 19, 5
+	}
+	return &cp
+}

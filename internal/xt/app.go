@@ -1,0 +1,392 @@
+package xt
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"wafe/internal/xproto"
+)
+
+type windowKey struct {
+	d   *xproto.Display
+	win xproto.WindowID
+}
+
+// WorkProc is a background procedure run when the event loop is idle
+// (XtAppAddWorkProc). Returning true removes it.
+type WorkProc func() bool
+
+// InputHandler receives lines from an alternate input source
+// (XtAppAddInput). eof is true exactly once, after the source closes.
+type InputHandler func(line string, eof bool)
+
+// App is the application context (XtAppContext): displays, the resource
+// database, converters, global actions, timeouts, alternate inputs and
+// work procedures, plus the widget registries.
+type App struct {
+	Name      string
+	ClassName string
+
+	DB *Xrm
+
+	display  *xproto.Display
+	displays []*xproto.Display
+
+	converters map[string]Converter
+	formatters map[string]Formatter
+	actions    map[string]ActionProc
+
+	widgets     map[string]*Widget
+	byWindow    map[windowKey]*Widget
+	liveWidgets int
+
+	posted chan func()
+	timers []*Timer
+	works  []WorkProc
+	nextID int
+
+	quit     bool
+	quitCode int
+
+	// ErrorHandler receives errors raised while dispatching actions and
+	// callbacks (default: collect into Errors).
+	ErrorHandler func(error)
+	errorsMu     sync.Mutex
+	errors       []error
+}
+
+// NewApp creates an application context bound to the named display
+// (the empty string means ":0").
+func NewApp(appName, className, displayName string) *App {
+	d := xproto.OpenDisplay(displayName)
+	return newAppOn(appName, className, d)
+}
+
+// NewTestApp creates an app on a private display for tests.
+func NewTestApp(appName string) *App {
+	className := appName
+	if className != "" {
+		b := []byte(className)
+		if b[0] >= 'a' && b[0] <= 'z' {
+			b[0] -= 32
+		}
+		className = string(b)
+	}
+	return newAppOn(appName, className, xproto.NewTestDisplay())
+}
+
+func newAppOn(appName, className string, d *xproto.Display) *App {
+	app := &App{
+		Name:       appName,
+		ClassName:  className,
+		DB:         NewXrm(),
+		display:    d,
+		displays:   []*xproto.Display{d},
+		converters: make(map[string]Converter),
+		formatters: make(map[string]Formatter),
+		actions:    make(map[string]ActionProc),
+		widgets:    make(map[string]*Widget),
+		byWindow:   make(map[windowKey]*Widget),
+		posted:     make(chan func(), 1024),
+	}
+	app.ErrorHandler = func(err error) {
+		app.errorsMu.Lock()
+		app.errors = append(app.errors, err)
+		app.errorsMu.Unlock()
+	}
+	registerBuiltinConverters(app)
+	return app
+}
+
+// Display returns the default display.
+func (app *App) Display() *xproto.Display { return app.display }
+
+// OpenSecondDisplay attaches another display to the application, as
+// "applicationShell top2 dec4:0" requires.
+func (app *App) OpenSecondDisplay(name string) *xproto.Display {
+	d := xproto.OpenDisplay(name)
+	for _, have := range app.displays {
+		if have == d {
+			return d
+		}
+	}
+	app.displays = append(app.displays, d)
+	return d
+}
+
+// Displays returns all displays attached to the app.
+func (app *App) Displays() []*xproto.Display {
+	return append([]*xproto.Display(nil), app.displays...)
+}
+
+// WidgetByName resolves a widget reference — the string names Wafe uses
+// everywhere instead of widget pointers.
+func (app *App) WidgetByName(name string) *Widget { return app.widgets[name] }
+
+// WidgetForWindow resolves a server window back to its widget
+// (XtWindowToWidget).
+func (app *App) WidgetForWindow(d *xproto.Display, win xproto.WindowID) *Widget {
+	return app.byWindow[windowKey{d, win}]
+}
+
+// WidgetNames lists all live widgets, sorted.
+func (app *App) WidgetNames() []string {
+	out := make([]string, 0, len(app.widgets))
+	for n := range app.widgets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LiveWidgets returns the number of live widget instances (tests assert
+// Wafe's memory-management claim with it).
+func (app *App) LiveWidgets() int { return app.liveWidgets }
+
+// Errors drains the collected dispatch errors.
+func (app *App) Errors() []error {
+	app.errorsMu.Lock()
+	defer app.errorsMu.Unlock()
+	out := app.errors
+	app.errors = nil
+	return out
+}
+
+func (app *App) raise(err error) {
+	if err == nil {
+		return
+	}
+	if app.ErrorHandler != nil {
+		app.ErrorHandler(err)
+	}
+}
+
+// --- actions ---------------------------------------------------------------
+
+// AddAction registers a global action procedure (XtAppAddActions); the
+// Wafe layer registers "exec" this way.
+func (app *App) AddAction(name string, proc ActionProc) { app.actions[name] = proc }
+
+// LookupAction resolves an action for a widget: class chain first, then
+// the global table.
+func (app *App) LookupAction(w *Widget, name string) ActionProc {
+	if a := w.Class.actionFor(name); a != nil {
+		return a
+	}
+	return app.actions[name]
+}
+
+// --- event dispatch ----------------------------------------------------------
+
+// DispatchEvent routes one X event to its widget (XtDispatchEvent):
+// Expose redraws, input events run through the translation table.
+func (app *App) DispatchEvent(d *xproto.Display, ev xproto.Event) {
+	w := app.byWindow[windowKey{d, ev.Window}]
+	if w == nil || w.beingDestroyed {
+		return
+	}
+	switch ev.Type {
+	case xproto.Expose:
+		w.Redraw()
+		return
+	case xproto.MapNotify, xproto.UnmapNotify, xproto.ConfigureNotify, xproto.DestroyNotify:
+		return
+	}
+	if !w.IsSensitive() {
+		return
+	}
+	calls := w.translations().Match(&ev)
+	for _, call := range calls {
+		recv := w
+		if call.Target != nil && !call.Target.beingDestroyed {
+			recv = call.Target
+		}
+		proc := app.LookupAction(recv, call.Name)
+		if proc == nil {
+			app.raise(fmt.Errorf("xt: widget %q: unbound action %q", recv.Name, call.Name))
+			continue
+		}
+		proc(recv, &ev, call.Params)
+	}
+}
+
+// Pump dispatches all pending events on all displays until the queues
+// are empty. Tests and the Wafe command layer call it after injecting
+// events; the main loop calls it each iteration.
+func (app *App) Pump() {
+	for rounds := 0; rounds < 1000; rounds++ {
+		progress := false
+		for _, d := range app.displays {
+			for {
+				ev, ok := d.NextEvent()
+				if !ok {
+					break
+				}
+				progress = true
+				app.DispatchEvent(d, ev)
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// Post schedules fn to run on the event-loop goroutine.
+func (app *App) Post(fn func()) {
+	select {
+	case app.posted <- fn:
+	default:
+		// Queue full: run a slow path that blocks; Post is called from
+		// reader goroutines which may legitimately outpace the loop.
+		app.posted <- fn
+	}
+}
+
+// --- timeouts ----------------------------------------------------------------
+
+// Timer is a pending timeout (XtAppAddTimeOut).
+type Timer struct {
+	id       int
+	deadline time.Time
+	fn       func()
+	removed  bool
+}
+
+// AddTimeout schedules fn once after d.
+func (app *App) AddTimeout(d time.Duration, fn func()) *Timer {
+	app.nextID++
+	t := &Timer{id: app.nextID, deadline: time.Now().Add(d), fn: fn}
+	app.timers = append(app.timers, t)
+	return t
+}
+
+// Remove cancels the timer (XtRemoveTimeOut).
+func (t *Timer) Remove() { t.removed = true }
+
+// runDueTimers fires expired timers; returns the wait until the next
+// deadline (or a park interval when none).
+func (app *App) runDueTimers() time.Duration {
+	now := time.Now()
+	next := 50 * time.Millisecond
+	var keep []*Timer
+	var due []*Timer
+	for _, t := range app.timers {
+		switch {
+		case t.removed:
+		case !t.deadline.After(now):
+			due = append(due, t)
+		default:
+			keep = append(keep, t)
+			if d := t.deadline.Sub(now); d < next {
+				next = d
+			}
+		}
+	}
+	app.timers = keep
+	for _, t := range due {
+		t.fn()
+	}
+	if len(due) > 0 {
+		return 0
+	}
+	return next
+}
+
+// --- alternate inputs ----------------------------------------------------------
+
+// AddInput attaches a line-oriented input source: each line received on
+// ch is handed to handler on the event-loop goroutine; channel close
+// delivers eof. This is the frontend-mode hook (XtAppAddInput on the
+// pipe from the application program).
+func (app *App) AddInput(ch <-chan string, handler InputHandler) {
+	go func() {
+		for line := range ch {
+			l := line
+			app.Post(func() { handler(l, false) })
+		}
+		app.Post(func() { handler("", true) })
+	}()
+}
+
+// --- work procs -----------------------------------------------------------------
+
+// AddWorkProc registers a background procedure (XtAppAddWorkProc).
+func (app *App) AddWorkProc(p WorkProc) { app.works = append(app.works, p) }
+
+func (app *App) runOneWorkProc() bool {
+	for i, p := range app.works {
+		if p == nil {
+			continue
+		}
+		done := p()
+		if done {
+			app.works = append(app.works[:i], app.works[i+1:]...)
+		}
+		return true
+	}
+	return false
+}
+
+// --- main loop --------------------------------------------------------------------
+
+// Quit ends MainLoop with the given status.
+func (app *App) Quit(code int) {
+	app.quit = true
+	app.quitCode = code
+}
+
+// Quitting reports whether Quit has been called.
+func (app *App) Quitting() bool { return app.quit }
+
+// MainLoop is XtAppMainLoop: dispatch X events, run posted input
+// closures, fire timers, and run work procs when idle, until Quit.
+// It returns the exit status passed to Quit.
+func (app *App) MainLoop() int {
+	for !app.quit {
+		app.Pump()
+		wait := app.runDueTimers()
+		if app.quit {
+			break
+		}
+		select {
+		case fn := <-app.posted:
+			fn()
+			app.drainPosted()
+		case <-time.After(wait):
+			if !app.runOneWorkProc() {
+				continue
+			}
+		}
+	}
+	app.Pump()
+	return app.quitCode
+}
+
+// drainPosted runs every immediately-available posted closure.
+func (app *App) drainPosted() {
+	for {
+		select {
+		case fn := <-app.posted:
+			fn()
+		default:
+			return
+		}
+	}
+}
+
+// Sync processes posted closures and events until both are idle — the
+// deterministic test helper (no timers fire).
+func (app *App) Sync() {
+	for {
+		app.Pump()
+		select {
+		case fn := <-app.posted:
+			fn()
+		default:
+			return
+		}
+	}
+}

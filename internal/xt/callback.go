@@ -1,0 +1,96 @@
+package xt
+
+import "strings"
+
+// CallData carries per-invocation information a widget passes to its
+// callbacks (XtCallbackProc's call_data). Keys are the percent-code
+// letters the Wafe layer substitutes: "i" → index, "s" → string, etc.
+// The "w" code (invoking widget) is always available via the widget
+// argument itself.
+type CallData map[string]string
+
+// CallbackProc is an Xt callback procedure.
+type CallbackProc func(w *Widget, data CallData)
+
+// Callback pairs a procedure with the source string it was created
+// from, so the resource remains readable (gV widget callback).
+type Callback struct {
+	// Source is the Wafe-level representation: a Tcl script, or
+	// "predefinedName shellName" for predefined callbacks.
+	Source string
+	Proc   CallbackProc
+}
+
+// CallbackList is the value of a Callback-typed resource.
+type CallbackList []Callback
+
+// Source renders the list back to its string form; multiple entries
+// join with "; " as concatenated scripts.
+func (cl CallbackList) Source() string {
+	parts := make([]string, 0, len(cl))
+	for _, c := range cl {
+		if c.Source != "" {
+			parts = append(parts, c.Source)
+		}
+	}
+	return strings.Join(parts, "; ")
+}
+
+// AddCallback appends a callback to the named callback resource
+// (XtAddCallback).
+func (w *Widget) AddCallback(name string, cb Callback) error {
+	r, ok := w.spec[name]
+	if !ok || r.Type != TCallback {
+		return errNoCallbackResource(w, name)
+	}
+	cur, _ := w.Get(name)
+	list, _ := cur.(CallbackList)
+	w.setResource(name, append(list, cb))
+	return nil
+}
+
+// RemoveAllCallbacks clears the named callback list
+// (XtRemoveAllCallbacks).
+func (w *Widget) RemoveAllCallbacks(name string) error {
+	r, ok := w.spec[name]
+	if !ok || r.Type != TCallback {
+		return errNoCallbackResource(w, name)
+	}
+	w.setResource(name, CallbackList(nil))
+	return nil
+}
+
+// CallCallbacks invokes every callback on the named list
+// (XtCallCallbacks). Insensitive widgets still deliver callbacks when
+// called programmatically, as in Xt.
+func (w *Widget) CallCallbacks(name string, data CallData) {
+	cur, ok := w.Get(name)
+	if !ok {
+		return
+	}
+	list, _ := cur.(CallbackList)
+	for _, cb := range list {
+		if cb.Proc != nil {
+			cb.Proc(w, data)
+		}
+	}
+}
+
+// HasCallbacks reports whether the named list has any entries
+// (XtHasCallbacks).
+func (w *Widget) HasCallbacks(name string) bool {
+	cur, ok := w.Get(name)
+	if !ok {
+		return false
+	}
+	list, _ := cur.(CallbackList)
+	return len(list) > 0
+}
+
+func errNoCallbackResource(w *Widget, name string) error {
+	return &xtError{msg: "xt: widget " + w.Name + " (class " + w.Class.Name + ") has no callback resource " + name}
+}
+
+type xtError struct{ msg string }
+
+func (e *xtError) Error() string { return e.msg }

@@ -1,0 +1,254 @@
+package xt
+
+// Class is a widget class record (XtWidgetClass). Classes form a
+// single-inheritance chain; resource lists are additive along the
+// chain and method fields chain super-to-sub where the Xt spec says so.
+type Class struct {
+	Name  string
+	Super *Class
+
+	// Resources declared by this class (excluding superclass ones).
+	Resources []Resource
+
+	// Constraints declared by this (constraint) class for its children.
+	Constraints []Resource
+
+	// Actions provided by the class, available to translation tables of
+	// its instances.
+	Actions map[string]ActionProc
+
+	// DefaultTranslations installed when an instance is created.
+	DefaultTranslations string
+
+	// Composite marks classes that manage children.
+	Composite bool
+	// Shell marks top-level / popup shells.
+	Shell bool
+
+	// Methods (each may be nil). Initialize runs super-to-sub;
+	// Destroy runs sub-to-super.
+	Initialize    func(w *Widget)
+	Realize       func(w *Widget)
+	Redisplay     func(w *Widget)
+	Resize        func(w *Widget)
+	SetValues     func(w *Widget, changed map[string]bool)
+	Destroy       func(w *Widget)
+	ChangeManaged func(w *Widget)
+	// PreferredSize returns the widget's desired size given its current
+	// resources (query-geometry).
+	PreferredSize func(w *Widget) (width, height int)
+}
+
+// IsSubclassOf reports whether c is cls or a subclass of it.
+func (c *Class) IsSubclassOf(cls *Class) bool {
+	for k := c; k != nil; k = k.Super {
+		if k == cls {
+			return true
+		}
+	}
+	return false
+}
+
+// chain returns the class chain root-first (Core ... c).
+func (c *Class) chain() []*Class {
+	var rev []*Class
+	for k := c; k != nil; k = k.Super {
+		rev = append(rev, k)
+	}
+	out := make([]*Class, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// AllResources returns the full resource list in class-chain order
+// (Core resources first), the order XtGetResourceList reports.
+func (c *Class) AllResources() []Resource {
+	var out []Resource
+	seen := map[string]bool{}
+	for _, k := range c.chain() {
+		for _, r := range k.Resources {
+			if seen[r.Name] {
+				continue
+			}
+			seen[r.Name] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// actionFor resolves an action name against the class chain (sub-most
+// class wins), returning nil when undefined.
+func (c *Class) actionFor(name string) ActionProc {
+	for k := c; k != nil; k = k.Super {
+		if k.Actions != nil {
+			if a, ok := k.Actions[name]; ok {
+				return a
+			}
+		}
+	}
+	return nil
+}
+
+// CoreClass is the root class. Its resource list deliberately follows
+// the X11R5 ordering so getResourceList output starts, as printed in
+// the paper, with "destroyCallback ancestorSensitive x y width height
+// borderWidth sensitive screen depth colormap background ...".
+var CoreClass = &Class{
+	Name: "Core",
+	Resources: []Resource{
+		{"destroyCallback", "Callback", TCallback, ""},
+		{"ancestorSensitive", "Sensitive", TBoolean, "True"},
+		{"x", "Position", TPosition, "0"},
+		{"y", "Position", TPosition, "0"},
+		{"width", "Width", TDimension, "0"},
+		{"height", "Height", TDimension, "0"},
+		{"borderWidth", "BorderWidth", TDimension, "1"},
+		{"sensitive", "Sensitive", TBoolean, "True"},
+		{"screen", "Screen", TScreen, ""},
+		{"depth", "Depth", TInt, "24"},
+		{"colormap", "Colormap", TColormap, ""},
+		{"background", "Background", TPixel, "XtDefaultBackground"},
+		{"backgroundPixmap", "Pixmap", TPixmap, ""},
+		{"borderColor", "BorderColor", TPixel, "XtDefaultForeground"},
+		{"borderPixmap", "Pixmap", TPixmap, ""},
+		{"mappedWhenManaged", "MappedWhenManaged", TBoolean, "True"},
+		{"translations", "Translations", TTranslations, ""},
+		{"accelerators", "Accelerators", TAccelerators, ""},
+	},
+}
+
+// CompositeClass manages children.
+var CompositeClass = &Class{
+	Name:      "Composite",
+	Super:     CoreClass,
+	Composite: true,
+}
+
+// ConstraintClass adds per-child constraint resources.
+var ConstraintClass = &Class{
+	Name:      "Constraint",
+	Super:     CompositeClass,
+	Composite: true,
+}
+
+// ShellClass is the base for all shells.
+var ShellClass = &Class{
+	Name:      "Shell",
+	Super:     CompositeClass,
+	Composite: true,
+	Shell:     true,
+	Resources: []Resource{
+		{"allowShellResize", "AllowShellResize", TBoolean, "True"},
+		{"overrideRedirect", "OverrideRedirect", TBoolean, "False"},
+		{"saveUnder", "SaveUnder", TBoolean, "False"},
+		{"geometry", "Geometry", TString, ""},
+	},
+}
+
+// WMShellClass adds window-manager interaction resources.
+var WMShellClass = &Class{
+	Name:  "WMShell",
+	Super: ShellClass,
+	Shell: true, Composite: true,
+	Resources: []Resource{
+		{"title", "Title", TString, ""},
+		{"iconName", "IconName", TString, ""},
+		{"minWidth", "MinWidth", TDimension, "0"},
+		{"minHeight", "MinHeight", TDimension, "0"},
+	},
+}
+
+// TopLevelShellClass is the class of topLevel and additional
+// application shells.
+var TopLevelShellClass = &Class{
+	Name:  "TopLevelShell",
+	Super: WMShellClass,
+	Shell: true, Composite: true,
+	Resources: []Resource{
+		{"iconic", "Iconic", TBoolean, "False"},
+	},
+}
+
+// ApplicationShellClass is the class of the automatically created
+// topLevel widget.
+var ApplicationShellClass = &Class{
+	Name:  "ApplicationShell",
+	Super: TopLevelShellClass,
+	Shell: true, Composite: true,
+}
+
+// TransientShellClass is used for dialogs.
+var TransientShellClass = &Class{
+	Name:  "TransientShell",
+	Super: WMShellClass,
+	Shell: true, Composite: true,
+	Resources: []Resource{
+		{"transientFor", "TransientFor", TWidget, ""},
+	},
+}
+
+// OverrideShellClass is used for menus (no WM interaction).
+var OverrideShellClass = &Class{
+	Name:  "OverrideShell",
+	Super: ShellClass,
+	Shell: true, Composite: true,
+}
+
+func init() {
+	shellInit := func(w *Widget) {
+		// Shells default to border 0 and start unmanaged (popped up or
+		// realized explicitly).
+		if !w.explicit["borderWidth"] {
+			w.setResource("borderWidth", 0)
+		}
+	}
+	for _, c := range []*Class{ShellClass, WMShellClass, TopLevelShellClass, ApplicationShellClass, TransientShellClass, OverrideShellClass} {
+		c.Initialize = shellInit
+		c.PreferredSize = shellPreferredSize
+		c.ChangeManaged = shellLayout
+		c.Resize = shellResize
+	}
+}
+
+func shellPreferredSize(w *Widget) (int, int) {
+	if len(w.managedChildren()) == 0 {
+		return maxInt(w.Int("width"), 1), maxInt(w.Int("height"), 1)
+	}
+	c := w.managedChildren()[0]
+	cw, ch := c.preferredSize()
+	return cw + 2*c.Int("borderWidth"), ch + 2*c.Int("borderWidth")
+}
+
+// shellLayout sizes the shell to its (single) managed child, or the
+// child to the shell when the shell has an explicit size.
+func shellLayout(w *Widget) {
+	kids := w.managedChildren()
+	if len(kids) == 0 {
+		return
+	}
+	c := kids[0]
+	cw, ch := c.preferredSize()
+	if w.Bool("allowShellResize") || w.Int("width") == 0 || w.Int("height") == 0 {
+		w.setGeometry(w.Int("x"), w.Int("y"), cw+2*c.Int("borderWidth"), ch+2*c.Int("borderWidth"))
+	}
+	c.setGeometry(0, 0, maxInt(w.Int("width")-2*c.Int("borderWidth"), 1), maxInt(w.Int("height")-2*c.Int("borderWidth"), 1))
+}
+
+func shellResize(w *Widget) {
+	kids := w.managedChildren()
+	if len(kids) == 0 {
+		return
+	}
+	c := kids[0]
+	c.setGeometry(0, 0, maxInt(w.Int("width")-2*c.Int("borderWidth"), 1), maxInt(w.Int("height")-2*c.Int("borderWidth"), 1))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,516 @@
+package xt
+
+import (
+	"fmt"
+	"strings"
+
+	"wafe/internal/xproto"
+)
+
+// ActionProc is an action procedure invocable from translation tables
+// (XtActionProc). params are the arguments written in the table, e.g.
+// exec(echo %k %a %s) passes ["echo %k %a %s"].
+type ActionProc func(w *Widget, ev *xproto.Event, params []string)
+
+// ActionCall is one action invocation in a translation binding. Target
+// is normally nil (the action runs on the widget the event arrived at);
+// accelerator installation sets it so the action resolves and runs on
+// the source widget, as XtInstallAccelerators specifies.
+type ActionCall struct {
+	Name   string
+	Params []string
+	Target *Widget
+}
+
+// transEntry is one line of a translation table.
+type transEntry struct {
+	evType  xproto.EventType
+	detail  string // keysym for key events ("" = any)
+	button  int    // required button for button events (0 = any)
+	mods    xproto.Modifiers
+	modMask xproto.Modifiers // which modifier bits the entry cares about
+	actions []ActionCall
+	source  string
+}
+
+// Translations is a parsed translation table, the value of the
+// "translations" resource.
+type Translations struct {
+	entries []transEntry
+	source  string
+}
+
+// Source returns the textual table (one binding per line).
+func (t *Translations) Source() string {
+	if t == nil {
+		return ""
+	}
+	return t.source
+}
+
+// Len returns the number of bindings.
+func (t *Translations) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.entries)
+}
+
+// EventMask returns the input events this table needs delivered.
+func (t *Translations) EventMask() xproto.EventMask {
+	var m xproto.EventMask
+	if t == nil {
+		return 0
+	}
+	for _, e := range t.entries {
+		m |= xproto.MaskFor(e.evType)
+	}
+	return m
+}
+
+// Match returns the actions bound to the event, or nil. Among matching
+// entries the most specific wins (keysym detail, then required
+// modifiers, then button), with table order breaking ties — so a
+// Ctrl<Key>Return accelerator beats a plain <Key>Return binding no
+// matter where the merge placed it, as in Xt.
+func (t *Translations) Match(ev *xproto.Event) []ActionCall {
+	if t == nil {
+		return nil
+	}
+	best := -1
+	var bestActions []ActionCall
+	for _, e := range t.entries {
+		if e.evType != ev.Type {
+			continue
+		}
+		if e.button != 0 && e.button != ev.Button {
+			continue
+		}
+		if e.detail != "" && !keysymMatches(e.detail, ev) {
+			continue
+		}
+		if ev.State&e.modMask != e.mods {
+			continue
+		}
+		score := 0
+		if e.detail != "" {
+			score += 4
+		}
+		score += 2 * popcount(uint16(e.modMask))
+		if e.button != 0 {
+			score++
+		}
+		if score > best {
+			best = score
+			bestActions = e.actions
+		}
+	}
+	return bestActions
+}
+
+func popcount(v uint16) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+func keysymMatches(detail string, ev *xproto.Event) bool {
+	if detail == ev.Keysym {
+		return true
+	}
+	// Single-character details match the generated character, so
+	// <Key>a fires for both "a" and shifted variants mapping to 'a'.
+	if len(detail) == 1 && ev.Rune != 0 && string(ev.Rune) == detail {
+		return true
+	}
+	return false
+}
+
+// RetargetTo returns a copy of the table whose actions resolve and run
+// on w instead of the event widget — the accelerator mechanism.
+func (t *Translations) RetargetTo(w *Widget) *Translations {
+	if t == nil {
+		return nil
+	}
+	out := &Translations{source: t.source}
+	for _, e := range t.entries {
+		ne := e
+		ne.actions = make([]ActionCall, len(e.actions))
+		for i, a := range e.actions {
+			a.Target = w
+			ne.actions[i] = a
+		}
+		out.entries = append(out.entries, ne)
+	}
+	return out
+}
+
+// MergeMode selects how action's first argument combines tables.
+type MergeMode int
+
+const (
+	// MergeReplace discards the previous table.
+	MergeReplace MergeMode = iota
+	// MergeOverride gives the new entries precedence (XtOverrideTranslations).
+	MergeOverride
+	// MergeAugment keeps existing bindings where they conflict
+	// (XtAugmentTranslations).
+	MergeAugment
+)
+
+// ParseMergeMode maps the Wafe action-command keywords.
+func ParseMergeMode(s string) (MergeMode, error) {
+	switch strings.ToLower(s) {
+	case "replace":
+		return MergeReplace, nil
+	case "override":
+		return MergeOverride, nil
+	case "augment":
+		return MergeAugment, nil
+	}
+	return 0, fmt.Errorf("xt: bad translation merge mode %q (want override, augment or replace)", s)
+}
+
+// Merge combines tables according to mode and returns the result.
+func (t *Translations) Merge(nw *Translations, mode MergeMode) *Translations {
+	if mode == MergeReplace || t == nil || len(t.entries) == 0 {
+		return nw
+	}
+	if nw == nil || len(nw.entries) == 0 {
+		return t
+	}
+	conflicts := func(a, b transEntry) bool {
+		return a.evType == b.evType && a.detail == b.detail && a.button == b.button && a.mods == b.mods
+	}
+	var out Translations
+	switch mode {
+	case MergeOverride:
+		out.entries = append(out.entries, nw.entries...)
+		for _, old := range t.entries {
+			keep := true
+			for _, n := range nw.entries {
+				if conflicts(old, n) {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				out.entries = append(out.entries, old)
+			}
+		}
+	case MergeAugment:
+		out.entries = append(out.entries, t.entries...)
+		for _, n := range nw.entries {
+			add := true
+			for _, old := range t.entries {
+				if conflicts(old, n) {
+					add = false
+					break
+				}
+			}
+			if add {
+				out.entries = append(out.entries, n)
+			}
+		}
+	}
+	var lines []string
+	for _, e := range out.entries {
+		lines = append(lines, e.source)
+	}
+	out.source = strings.Join(lines, "\n")
+	return &out
+}
+
+// ParseTranslations parses an Xt translation table: one binding per
+// line (newline separated), each of the form
+//
+//	[modifiers]<EventType>[detail]: action1(args) action2() ...
+//
+// The supported event names cover the types Wafe's percent-code table
+// lists plus the structural ones the Athena widgets use.
+func ParseTranslations(src string) (*Translations, error) {
+	t := &Translations{}
+	var lines []string
+	for _, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		line = strings.TrimPrefix(line, "#override")
+		line = strings.TrimPrefix(line, "#augment")
+		line = strings.TrimPrefix(line, "#replace")
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		e, err := parseBinding(line)
+		if err != nil {
+			return nil, err
+		}
+		t.entries = append(t.entries, e)
+		lines = append(lines, e.source)
+	}
+	t.source = strings.Join(lines, "\n")
+	return t, nil
+}
+
+func parseBinding(line string) (transEntry, error) {
+	colon := findBindingColon(line)
+	if colon < 0 {
+		return transEntry{}, fmt.Errorf("xt: translation binding %q has no colon", line)
+	}
+	lhs := strings.TrimSpace(line[:colon])
+	rhs := strings.TrimSpace(line[colon+1:])
+	e := transEntry{source: line}
+
+	open := strings.IndexByte(lhs, '<')
+	closeIdx := strings.IndexByte(lhs, '>')
+	if open < 0 || closeIdx < open {
+		return transEntry{}, fmt.Errorf("xt: translation binding %q has no <event>", line)
+	}
+	modPart := strings.TrimSpace(lhs[:open])
+	evName := strings.TrimSpace(lhs[open+1 : closeIdx])
+	detail := strings.TrimSpace(lhs[closeIdx+1:])
+
+	if err := parseModifiers(modPart, &e); err != nil {
+		return transEntry{}, fmt.Errorf("xt: binding %q: %v", line, err)
+	}
+	if err := parseEventName(evName, &e); err != nil {
+		return transEntry{}, fmt.Errorf("xt: binding %q: %v", line, err)
+	}
+	if detail != "" {
+		switch e.evType {
+		case xproto.KeyPress, xproto.KeyRelease:
+			e.detail = detail
+		case xproto.ButtonPress, xproto.ButtonRelease:
+			return transEntry{}, fmt.Errorf("xt: binding %q: button detail goes in the event name (Btn1Down)", line)
+		default:
+			return transEntry{}, fmt.Errorf("xt: binding %q: detail not allowed for %s", line, e.evType)
+		}
+	}
+	actions, err := parseActionSeq(rhs)
+	if err != nil {
+		return transEntry{}, fmt.Errorf("xt: binding %q: %v", line, err)
+	}
+	if len(actions) == 0 {
+		return transEntry{}, fmt.Errorf("xt: binding %q has no actions", line)
+	}
+	e.actions = actions
+	return e, nil
+}
+
+// findBindingColon locates the separating colon, skipping "Ctrl:" style
+// usage inside the lhs is not an issue because Xt uses the first colon
+// after the closing '>' plus detail; we find the colon outside any
+// parens.
+func findBindingColon(line string) int {
+	depth := 0
+	seenEvent := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '<':
+			depth++
+		case '>':
+			depth--
+			seenEvent = true
+		case ':':
+			if depth == 0 && seenEvent {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func parseModifiers(s string, e *transEntry) error {
+	if s == "" {
+		return nil
+	}
+	for _, tok := range strings.Fields(s) {
+		neg := false
+		if strings.HasPrefix(tok, "~") {
+			neg = true
+			tok = tok[1:]
+		}
+		if strings.HasPrefix(tok, "!") {
+			// Exclusive match: care about all standard modifiers.
+			e.modMask |= xproto.ShiftMask | xproto.ControlMask | xproto.Mod1Mask
+			tok = tok[1:]
+			if tok == "" {
+				continue
+			}
+		}
+		var m xproto.Modifiers
+		switch tok {
+		case "Shift":
+			m = xproto.ShiftMask
+		case "Ctrl", "Control":
+			m = xproto.ControlMask
+		case "Meta", "Alt", "Mod1":
+			m = xproto.Mod1Mask
+		case "Lock":
+			m = xproto.LockMask
+		case "Button1":
+			m = xproto.Button1Mask
+		case "Button2":
+			m = xproto.Button2Mask
+		case "Button3":
+			m = xproto.Button3Mask
+		case "None":
+			e.modMask |= xproto.ShiftMask | xproto.ControlMask | xproto.Mod1Mask
+			continue
+		case "Any":
+			continue
+		default:
+			return fmt.Errorf("unknown modifier %q", tok)
+		}
+		e.modMask |= m
+		if !neg {
+			e.mods |= m
+		}
+	}
+	return nil
+}
+
+func parseEventName(name string, e *transEntry) error {
+	switch name {
+	case "Key", "KeyPress", "KeyDown":
+		e.evType = xproto.KeyPress
+	case "KeyUp", "KeyRelease":
+		e.evType = xproto.KeyRelease
+	case "BtnDown", "ButtonPress":
+		e.evType = xproto.ButtonPress
+	case "BtnUp", "ButtonRelease":
+		e.evType = xproto.ButtonRelease
+	case "Btn1Down", "Btn2Down", "Btn3Down", "Btn4Down", "Btn5Down":
+		e.evType = xproto.ButtonPress
+		e.button = int(name[3] - '0')
+	case "Btn1Up", "Btn2Up", "Btn3Up", "Btn4Up", "Btn5Up":
+		e.evType = xproto.ButtonRelease
+		e.button = int(name[3] - '0')
+	case "EnterWindow", "Enter", "EnterNotify":
+		e.evType = xproto.EnterNotify
+	case "LeaveWindow", "Leave", "LeaveNotify":
+		e.evType = xproto.LeaveNotify
+	case "Expose":
+		e.evType = xproto.Expose
+	case "Motion", "PtrMoved", "MouseMoved", "MotionNotify":
+		e.evType = xproto.MotionNotify
+	case "Btn1Motion", "Btn2Motion", "Btn3Motion":
+		e.evType = xproto.MotionNotify
+		switch name[3] {
+		case '1':
+			e.mods |= xproto.Button1Mask
+			e.modMask |= xproto.Button1Mask
+		case '2':
+			e.mods |= xproto.Button2Mask
+			e.modMask |= xproto.Button2Mask
+		case '3':
+			e.mods |= xproto.Button3Mask
+			e.modMask |= xproto.Button3Mask
+		}
+	case "Configure", "ConfigureNotify":
+		e.evType = xproto.ConfigureNotify
+	case "Map", "MapNotify":
+		e.evType = xproto.MapNotify
+	case "Unmap", "UnmapNotify":
+		e.evType = xproto.UnmapNotify
+	case "FocusIn":
+		e.evType = xproto.FocusIn
+	case "FocusOut":
+		e.evType = xproto.FocusOut
+	case "ClientMessage", "Message":
+		e.evType = xproto.ClientMessage
+	default:
+		return fmt.Errorf("unknown event type %q", name)
+	}
+	return nil
+}
+
+// parseActionSeq parses "act1(a, b) act2() act3(text with spaces)".
+func parseActionSeq(s string) ([]ActionCall, error) {
+	var out []ActionCall
+	i := 0
+	n := len(s)
+	for i < n {
+		for i < n && (s[i] == ' ' || s[i] == '\t') {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		start := i
+		for i < n && s[i] != '(' && s[i] != ' ' && s[i] != '\t' {
+			i++
+		}
+		name := s[start:i]
+		if name == "" {
+			return nil, fmt.Errorf("empty action name in %q", s)
+		}
+		call := ActionCall{Name: name}
+		if i < n && s[i] == '(' {
+			depth := 1
+			i++
+			argStart := i
+			for i < n && depth > 0 {
+				switch s[i] {
+				case '(':
+					depth++
+				case ')':
+					depth--
+				case '[':
+					depth++
+				case ']':
+					depth--
+				}
+				i++
+			}
+			if depth != 0 {
+				return nil, fmt.Errorf("unbalanced parentheses in action %q", name)
+			}
+			argText := s[argStart : i-1]
+			call.Params = splitActionParams(argText)
+		}
+		out = append(out, call)
+	}
+	return out, nil
+}
+
+// splitActionParams splits on top-level commas, trimming whitespace and
+// surrounding double quotes from each parameter.
+func splitActionParams(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var parts []string
+	depth := 0
+	inQuote := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inQuote = !inQuote
+		case '(', '[', '{':
+			if !inQuote {
+				depth++
+			}
+		case ')', ']', '}':
+			if !inQuote {
+				depth--
+			}
+		case ',':
+			if depth == 0 && !inQuote {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	for i := range parts {
+		p := strings.TrimSpace(parts[i])
+		if len(p) >= 2 && p[0] == '"' && p[len(p)-1] == '"' {
+			p = p[1 : len(p)-1]
+		}
+		parts[i] = p
+	}
+	return parts
+}

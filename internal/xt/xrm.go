@@ -1,0 +1,224 @@
+package xt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Xrm is the resource database (XrmDatabase): specification lines like
+//
+//	*Font: fixed
+//	Wafe*label1.foreground: blue
+//
+// entered from resource files or the mergeResources command, queried at
+// widget-creation time with standard X precedence rules.
+type Xrm struct {
+	entries []xrmEntry
+}
+
+type xrmComponent struct {
+	loose bool // preceded by '*' (matches zero or more levels)
+	name  string
+}
+
+type xrmEntry struct {
+	components []xrmComponent
+	value      string
+	seq        int // insertion order breaks ties (later wins)
+}
+
+// NewXrm returns an empty database.
+func NewXrm() *Xrm { return &Xrm{} }
+
+// Len returns the number of entries.
+func (db *Xrm) Len() int { return len(db.entries) }
+
+// EnterString parses a block of resource-file text: one "spec: value"
+// per line, "!"-prefixed comment lines ignored.
+func (db *Xrm) EnterString(text string) error {
+	for _, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "!") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			return fmt.Errorf("xt: resource line %q has no colon", line)
+		}
+		if err := db.Enter(strings.TrimSpace(line[:colon]), strings.TrimSpace(line[colon+1:])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Enter adds one specification → value pair, replacing an identical
+// specification.
+func (db *Xrm) Enter(spec, value string) error {
+	comps, err := parseXrmSpec(spec)
+	if err != nil {
+		return err
+	}
+	e := xrmEntry{components: comps, value: value, seq: len(db.entries)}
+	for i, old := range db.entries {
+		if specEqual(old.components, comps) {
+			e.seq = old.seq
+			db.entries[i] = e
+			return nil
+		}
+	}
+	db.entries = append(db.entries, e)
+	return nil
+}
+
+func specEqual(a, b []xrmComponent) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func parseXrmSpec(spec string) ([]xrmComponent, error) {
+	var comps []xrmComponent
+	loose := false
+	cur := strings.Builder{}
+	flush := func() {
+		if cur.Len() > 0 {
+			comps = append(comps, xrmComponent{loose: loose, name: cur.String()})
+			cur.Reset()
+			loose = false
+		}
+	}
+	for i := 0; i < len(spec); i++ {
+		switch spec[i] {
+		case '.':
+			flush()
+		case '*':
+			flush()
+			loose = true
+		case ' ', '\t':
+			// ignore stray whitespace
+		default:
+			cur.WriteByte(spec[i])
+		}
+	}
+	flush()
+	if len(comps) == 0 {
+		return nil, fmt.Errorf("xt: empty resource specification %q", spec)
+	}
+	return comps, nil
+}
+
+// Query looks up the resource for a widget path. names and classes are
+// the instance/class paths from the application down; resName/resClass
+// identify the resource itself. It returns the best-matching value per
+// the X precedence rules: instance over class over '?', tight over
+// loose binding, earlier path levels dominating later ones.
+func (db *Xrm) Query(names, classes []string, resName, resClass string) (string, bool) {
+	pathN := append(append([]string(nil), names...), resName)
+	pathC := append(append([]string(nil), classes...), resClass)
+	bestScore := []int(nil)
+	bestSeq := -1
+	value := ""
+	found := false
+	for _, e := range db.entries {
+		score, ok := matchEntry(e.components, pathN, pathC)
+		if !ok {
+			continue
+		}
+		if bestScore == nil || compareScores(score, bestScore) > 0 ||
+			(compareScores(score, bestScore) == 0 && e.seq > bestSeq) {
+			bestScore = score
+			bestSeq = e.seq
+			value = e.value
+			found = true
+		}
+	}
+	return value, found
+}
+
+// matchEntry matches components against the key path, producing a
+// per-level score: 3 = name match, 2 = class match, 1 = '?', 0 = level
+// skipped by a loose binding; +4 when the component was tightly bound.
+func matchEntry(comps []xrmComponent, names, classes []string) ([]int, bool) {
+	L := len(names)
+	score := make([]int, L)
+	var rec func(ci, li int) bool
+	rec = func(ci, li int) bool {
+		if ci == len(comps) {
+			return li == L
+		}
+		c := comps[ci]
+		if li >= L {
+			return false
+		}
+		// The final component must match the final level.
+		tryMatch := func(at int) bool {
+			var s int
+			switch {
+			case c.name == names[at]:
+				s = 3
+			case c.name == classes[at]:
+				s = 2
+			case c.name == "?":
+				s = 1
+			default:
+				return false
+			}
+			if !c.loose {
+				s += 4
+			}
+			// Mark skipped levels between previous position and at.
+			for k := li; k < at; k++ {
+				score[k] = 0
+			}
+			score[at] = s
+			return rec(ci+1, at+1)
+		}
+		if c.loose {
+			// Try each possible level, earliest (most specific) first.
+			// The last component must land on the last level.
+			lim := L - 1
+			if ci < len(comps)-1 {
+				lim = L - 1 - (len(comps) - 1 - ci)
+			}
+			for at := li; at <= lim; at++ {
+				if ci == len(comps)-1 && at != L-1 {
+					continue
+				}
+				saved := append([]int(nil), score...)
+				if tryMatch(at) {
+					return true
+				}
+				copy(score, saved)
+			}
+			return false
+		}
+		if ci == len(comps)-1 && li != L-1 {
+			return false
+		}
+		return tryMatch(li)
+	}
+	if !rec(0, 0) {
+		return nil, false
+	}
+	return score, true
+}
+
+// compareScores compares level-by-level; earlier levels dominate.
+func compareScores(a, b []int) int {
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] > b[i] {
+				return 1
+			}
+			return -1
+		}
+	}
+	return 0
+}

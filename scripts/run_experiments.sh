@@ -1,0 +1,9 @@
+#!/bin/sh
+set -e
+cd "$(dirname "$0")/.."
+echo "== tests =="
+go test ./... 2>&1 | tee test_output.txt
+echo "== benchmarks =="
+go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+echo "== code generation statistics (C6) =="
+go run ./cmd/wafegen -spec specs/wafe.spec -stats
