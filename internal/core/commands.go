@@ -668,12 +668,14 @@ func (w *Wafe) cmdAddTimeOut(argv []string) (string, error) {
 	if err != nil || ms < 0 {
 		return "", tcl.NewError("bad interval %q", argv[1])
 	}
-	script := argv[2]
+	// Compile at registration; a malformed script still yields an
+	// evaluable prefix that replays the parse error when it fires.
+	script, _ := tcl.Compile(argv[2])
 	w.nextID++
 	id := "timeout" + strconv.Itoa(w.nextID)
 	t := w.App.AddTimeout(time.Duration(ms)*time.Millisecond, func() {
 		delete(w.timers, id)
-		if _, err := w.Eval(script); err != nil {
+		if _, err := w.EvalScript(script); err != nil {
 			w.reportScriptError("timeout", nil, err)
 		}
 	})
@@ -706,8 +708,20 @@ func (w *Wafe) cmdOwnSelection(argv []string) (string, error) {
 		return "", err
 	}
 	sel, script := argv[2], argv[3]
+	// Scripts without the %t target code never change between requests,
+	// so they compile once here.
+	var compiled *tcl.Script
+	if !strings.Contains(script, "%t") {
+		compiled, _ = tcl.Compile(script)
+	}
 	wid.Display().OwnSelection(sel, wid.Window(), func(target string) (string, bool) {
-		res, err := w.Eval(strings.ReplaceAll(script, "%t", target))
+		var res string
+		var err error
+		if compiled != nil {
+			res, err = w.EvalScript(compiled)
+		} else {
+			res, err = w.Eval(strings.ReplaceAll(script, "%t", target))
+		}
 		if err != nil {
 			return "", false
 		}
@@ -940,12 +954,13 @@ func (w *Wafe) cmdStripChartStart(argv []string) (string, error) {
 	run := &stripChartRun{}
 	w.chartRuns[wid.Name] = run
 	interval := time.Duration(maxIntC(wid.Int("update"), 1)) * time.Second
+	compiled, _ := tcl.Compile(script)
 	var tick func()
 	tick = func() {
 		if run.stopped || w.App.WidgetByName(wid.Name) != wid {
 			return
 		}
-		res, err := w.Eval(script)
+		res, err := w.EvalScript(compiled)
 		if err != nil {
 			w.reportScriptError("stripChart getValue", wid, err)
 			return

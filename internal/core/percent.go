@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"strings"
 
+	"wafe/internal/tcl"
 	"wafe/internal/xproto"
 	"wafe/internal/xt"
 )
@@ -61,66 +62,162 @@ func ExpandActionPercent(cmd string, w *xt.Widget, ev *xproto.Event) string {
 		return cmd
 	}
 	var b strings.Builder
+	b.Grow(len(cmd))
+	start := 0
 	for i := 0; i < len(cmd); i++ {
-		c := cmd[i]
-		if c != '%' || i+1 >= len(cmd) {
-			b.WriteByte(c)
+		if cmd[i] != '%' || i+1 >= len(cmd) {
 			continue
+		}
+		b.WriteString(cmd[start:i])
+		i++
+		expandActionCode(&b, cmd[i], w, ev)
+		start = i + 1
+	}
+	b.WriteString(cmd[start:])
+	return b.String()
+}
+
+// expandActionCode writes the expansion of one exec-action percent code.
+func expandActionCode(b *strings.Builder, code byte, w *xt.Widget, ev *xproto.Event) {
+	if ev == nil {
+		if code == '%' {
+			b.WriteByte('%')
+		} else if code == 'w' {
+			b.WriteString(w.Name)
+		}
+		return
+	}
+	switch code {
+	case '%':
+		b.WriteByte('%')
+	case 't':
+		b.WriteString(actionEventName(ev.Type))
+	case 'w':
+		b.WriteString(w.Name)
+	case 'b':
+		if isButtonEvent(ev.Type) {
+			b.WriteString(strconv.Itoa(ev.Button))
+		}
+	case 'x':
+		if isPercentEvent(ev.Type) {
+			b.WriteString(strconv.Itoa(ev.X))
+		}
+	case 'y':
+		if isPercentEvent(ev.Type) {
+			b.WriteString(strconv.Itoa(ev.Y))
+		}
+	case 'X':
+		if isPercentEvent(ev.Type) {
+			b.WriteString(strconv.Itoa(ev.XRoot))
+		}
+	case 'Y':
+		if isPercentEvent(ev.Type) {
+			b.WriteString(strconv.Itoa(ev.YRoot))
+		}
+	case 'a':
+		if isKeyEvent(ev.Type) && ev.Rune != 0 {
+			b.WriteString(string(ev.Rune))
+		}
+	case 'k':
+		if isKeyEvent(ev.Type) {
+			b.WriteString(strconv.Itoa(ev.Keycode))
+		}
+	case 's':
+		if isKeyEvent(ev.Type) {
+			b.WriteString(ev.Keysym)
+		}
+	default:
+		// Unknown codes pass through untouched.
+		b.WriteByte('%')
+		b.WriteByte(code)
+	}
+}
+
+// percentSegment is one piece of a scanned script: either a literal run
+// (code == 0) or a single percent code.
+type percentSegment struct {
+	lit  string
+	code byte
+}
+
+// PercentScript is a callback or action script scanned for percent
+// codes once, at registration time. A script without any percent code
+// is static: it carries a compiled *tcl.Script so each invocation skips
+// both the expansion scan and the parse. Scripts with codes keep the
+// literal/code segment list, so per-event expansion only substitutes —
+// it never rescans the source.
+type PercentScript struct {
+	Source   string
+	segs     []percentSegment
+	compiled *tcl.Script // non-nil iff the script has no percent codes
+}
+
+// NewPercentScript scans src. The segmentation follows the expansion
+// functions exactly: a '%' introduces a code only when a byte follows
+// it; a trailing lone '%' stays literal.
+func NewPercentScript(src string) *PercentScript {
+	p := &PercentScript{Source: src}
+	static := true
+	start := 0
+	for i := 0; i < len(src); i++ {
+		if src[i] != '%' || i+1 >= len(src) {
+			continue
+		}
+		if i > start {
+			p.segs = append(p.segs, percentSegment{lit: src[start:i]})
 		}
 		i++
-		code := cmd[i]
-		if ev == nil {
-			if code == '%' {
-				b.WriteByte('%')
-			} else if code == 'w' {
-				b.WriteString(w.Name)
-			}
+		p.segs = append(p.segs, percentSegment{code: src[i]})
+		static = false
+		start = i + 1
+	}
+	if start < len(src) {
+		p.segs = append(p.segs, percentSegment{lit: src[start:]})
+	}
+	if static {
+		// A malformed script still compiles to an evaluable prefix that
+		// replays the parse error, so the compiled path is always safe.
+		p.compiled, _ = tcl.Compile(src)
+	}
+	return p
+}
+
+// Compiled returns the pre-compiled script, or nil when the script has
+// percent codes and must be expanded per event.
+func (p *PercentScript) Compiled() *tcl.Script { return p.compiled }
+
+// ExpandAction substitutes the exec-action percent codes; identical to
+// ExpandActionPercent on the source.
+func (p *PercentScript) ExpandAction(w *xt.Widget, ev *xproto.Event) string {
+	if p.compiled != nil {
+		return p.Source
+	}
+	var b strings.Builder
+	b.Grow(len(p.Source))
+	for _, s := range p.segs {
+		if s.code == 0 {
+			b.WriteString(s.lit)
 			continue
 		}
-		switch code {
-		case '%':
-			b.WriteByte('%')
-		case 't':
-			b.WriteString(actionEventName(ev.Type))
-		case 'w':
-			b.WriteString(w.Name)
-		case 'b':
-			if isButtonEvent(ev.Type) {
-				b.WriteString(strconv.Itoa(ev.Button))
-			}
-		case 'x':
-			if isPercentEvent(ev.Type) {
-				b.WriteString(strconv.Itoa(ev.X))
-			}
-		case 'y':
-			if isPercentEvent(ev.Type) {
-				b.WriteString(strconv.Itoa(ev.Y))
-			}
-		case 'X':
-			if isPercentEvent(ev.Type) {
-				b.WriteString(strconv.Itoa(ev.XRoot))
-			}
-		case 'Y':
-			if isPercentEvent(ev.Type) {
-				b.WriteString(strconv.Itoa(ev.YRoot))
-			}
-		case 'a':
-			if isKeyEvent(ev.Type) && ev.Rune != 0 {
-				b.WriteString(string(ev.Rune))
-			}
-		case 'k':
-			if isKeyEvent(ev.Type) {
-				b.WriteString(strconv.Itoa(ev.Keycode))
-			}
-		case 's':
-			if isKeyEvent(ev.Type) {
-				b.WriteString(ev.Keysym)
-			}
-		default:
-			// Unknown codes pass through untouched.
-			b.WriteByte('%')
-			b.WriteByte(code)
+		expandActionCode(&b, s.code, w, ev)
+	}
+	return b.String()
+}
+
+// ExpandCallback substitutes the callback clientData percent codes;
+// identical to ExpandCallbackPercent on the source.
+func (p *PercentScript) ExpandCallback(w *xt.Widget, data xt.CallData) string {
+	if p.compiled != nil {
+		return p.Source
+	}
+	var b strings.Builder
+	b.Grow(len(p.Source))
+	for _, s := range p.segs {
+		if s.code == 0 {
+			b.WriteString(s.lit)
+			continue
 		}
+		expandCallbackCode(&b, s.code, w, data)
 	}
 	return b.String()
 }
@@ -135,30 +232,38 @@ func ExpandCallbackPercent(script string, w *xt.Widget, data xt.CallData) string
 		return script
 	}
 	var b strings.Builder
+	b.Grow(len(script))
+	start := 0
 	for i := 0; i < len(script); i++ {
-		c := script[i]
-		if c != '%' || i+1 >= len(script) {
-			b.WriteByte(c)
+		if script[i] != '%' || i+1 >= len(script) {
 			continue
 		}
+		b.WriteString(script[start:i])
 		i++
-		code := script[i]
-		switch {
-		case code == '%':
-			b.WriteByte('%')
-		case code == 'w':
-			b.WriteString(w.Name)
-		default:
-			if data != nil {
-				if v, ok := data[string(code)]; ok {
-					b.WriteString(v)
-					continue
-				}
-			}
-			// Codes not provided by this widget class stay literal.
-			b.WriteByte('%')
-			b.WriteByte(code)
-		}
+		expandCallbackCode(&b, script[i], w, data)
+		start = i + 1
 	}
+	b.WriteString(script[start:])
 	return b.String()
+}
+
+// expandCallbackCode writes the expansion of one callback clientData
+// percent code.
+func expandCallbackCode(b *strings.Builder, code byte, w *xt.Widget, data xt.CallData) {
+	switch {
+	case code == '%':
+		b.WriteByte('%')
+	case code == 'w':
+		b.WriteString(w.Name)
+	default:
+		if data != nil {
+			if v, ok := data[string(code)]; ok {
+				b.WriteString(v)
+				return
+			}
+		}
+		// Codes not provided by this widget class stay literal.
+		b.WriteByte('%')
+		b.WriteByte(code)
+	}
 }

@@ -129,6 +129,21 @@ func (w *Wafe) Eval(script string) (string, error) {
 	return res, err
 }
 
+// EvalScript evaluates a pre-compiled script; otherwise identical to
+// Eval. Callback and timeout scripts compiled at registration time run
+// through here so each firing skips the parse.
+func (w *Wafe) EvalScript(s *tcl.Script) (string, error) {
+	res, err := w.Interp.EvalScript(s)
+	if code, isExit := tcl.IsExit(err); isExit {
+		w.quitRequested = true
+		w.exitCode = code
+		w.App.Quit(code)
+		return res, nil
+	}
+	w.App.Pump()
+	return res, err
+}
+
 // widgetArg resolves a widget-name argument.
 func (w *Wafe) widgetArg(name string) (*xt.Widget, error) {
 	wid := w.App.WidgetByName(name)
@@ -275,14 +290,24 @@ func (w *Wafe) registerConverters() {
 	w.App.RegisterConverter(xt.TBitmap, pixmapConv)
 }
 
-// scriptCallback wraps a Tcl script as an Xt callback, applying the
-// clientData percent codes at invocation time.
+// scriptCallback wraps a Tcl script as an Xt callback. The script is
+// scanned for percent codes once, here; a static script is compiled
+// once too, so each invocation evaluates the cached parse directly,
+// while scripts with codes substitute per event and re-use the
+// interpreter's intern cache for the expanded text.
 func (w *Wafe) scriptCallback(script string) xt.Callback {
+	ps := NewPercentScript(script)
 	return xt.Callback{
-		Source: script,
+		Source:   script,
+		Compiled: ps,
 		Proc: func(widget *xt.Widget, data xt.CallData) {
-			expanded := ExpandCallbackPercent(script, widget, data)
-			if _, err := w.Eval(expanded); err != nil {
+			var err error
+			if s := ps.Compiled(); s != nil {
+				_, err = w.EvalScript(s)
+			} else {
+				_, err = w.Eval(ps.ExpandCallback(widget, data))
+			}
+			if err != nil {
 				w.reportScriptError("callback", widget, err)
 			}
 		},
@@ -307,9 +332,26 @@ func (w *Wafe) reportScriptError(kind string, widget *xt.Widget, err error) {
 // global action exec which accepts any Wafe command as argument".
 func (w *Wafe) registerActions() {
 	w.App.AddAction("exec", func(widget *xt.Widget, ev *xproto.Event, params []string) {
-		cmd := strings.Join(params, ",")
-		expanded := ExpandActionPercent(cmd, widget, ev)
-		if _, err := w.Eval(expanded); err != nil {
+		// The params of a translation binding never change, so the
+		// scanned (and, for static scripts, compiled) form is cached on
+		// the binding itself via its Compiled slot.
+		var ps *PercentScript
+		if call := w.App.DispatchedCall(); call != nil {
+			ps, _ = call.Compiled.(*PercentScript)
+			if ps == nil {
+				ps = NewPercentScript(strings.Join(params, ","))
+				call.Compiled = ps
+			}
+		} else {
+			ps = NewPercentScript(strings.Join(params, ","))
+		}
+		var err error
+		if s := ps.Compiled(); s != nil {
+			_, err = w.EvalScript(s)
+		} else {
+			_, err = w.Eval(ps.ExpandAction(widget, ev))
+		}
+		if err != nil {
 			w.reportScriptError("action", widget, err)
 		}
 	})

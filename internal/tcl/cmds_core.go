@@ -150,7 +150,7 @@ func cmdIf(in *Interp, argv []string) (string, error) {
 			return "", err
 		}
 		if ok {
-			return in.Eval(body)
+			return in.EvalScript(in.compileCached(body))
 		}
 		if i >= len(argv) {
 			return "", nil
@@ -164,10 +164,10 @@ func cmdIf(in *Interp, argv []string) (string, error) {
 			if i >= len(argv) {
 				return "", NewError("wrong # args: no script following \"else\" argument")
 			}
-			return in.Eval(argv[i])
+			return in.EvalScript(in.compileCached(argv[i]))
 		default:
 			// Implicit else body.
-			return in.Eval(argv[i])
+			return in.EvalScript(in.compileCached(argv[i]))
 		}
 	}
 }
@@ -176,6 +176,7 @@ func cmdWhile(in *Interp, argv []string) (string, error) {
 	if len(argv) != 3 {
 		return "", arityError("while", "test command")
 	}
+	body := in.compileCached(argv[2])
 	for {
 		ok, err := in.ExprBool(argv[1])
 		if err != nil {
@@ -184,7 +185,7 @@ func cmdWhile(in *Interp, argv []string) (string, error) {
 		if !ok {
 			return "", nil
 		}
-		_, err = in.Eval(argv[2])
+		_, err = in.EvalScript(body)
 		if err != nil {
 			var te *Error
 			if asTclError(err, &te) {
@@ -207,6 +208,8 @@ func cmdFor(in *Interp, argv []string) (string, error) {
 	if _, err := in.Eval(argv[1]); err != nil {
 		return "", err
 	}
+	body := in.compileCached(argv[4])
+	next := in.compileCached(argv[3])
 	for {
 		ok, err := in.ExprBool(argv[2])
 		if err != nil {
@@ -215,7 +218,7 @@ func cmdFor(in *Interp, argv []string) (string, error) {
 		if !ok {
 			return "", nil
 		}
-		_, err = in.Eval(argv[4])
+		_, err = in.EvalScript(body)
 		if err != nil {
 			var te *Error
 			if asTclError(err, &te) {
@@ -229,7 +232,7 @@ func cmdFor(in *Interp, argv []string) (string, error) {
 				return "", err
 			}
 		}
-		if _, err := in.Eval(argv[3]); err != nil {
+		if _, err := in.EvalScript(next); err != nil {
 			return "", err
 		}
 	}
@@ -250,6 +253,7 @@ func cmdForeach(in *Interp, argv []string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	body := in.compileCached(argv[3])
 	for i := 0; i < len(items); i += len(vars) {
 		for j, v := range vars {
 			val := ""
@@ -260,7 +264,7 @@ func cmdForeach(in *Interp, argv []string) (string, error) {
 				return "", err
 			}
 		}
-		_, err := in.Eval(argv[3])
+		_, err := in.EvalScript(body)
 		if err != nil {
 			var te *Error
 			if asTclError(err, &te) {
@@ -379,7 +383,7 @@ func cmdProc(in *Interp, argv []string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	p := &Proc{Name: name, Body: argv[3]}
+	p := &Proc{Name: name, Body: argv[3], compiled: compileScript(argv[3])}
 	for _, f := range formals {
 		parts, err := ParseList(f)
 		if err != nil {
@@ -796,9 +800,10 @@ func cmdTime(in *Interp, argv []string) (string, error) {
 		}
 		count = c
 	}
+	body := in.compileCached(argv[1])
 	start := time.Now()
 	for i := 0; i < count; i++ {
-		if _, err := in.Eval(argv[1]); err != nil {
+		if _, err := in.EvalScript(body); err != nil {
 			return "", err
 		}
 	}
@@ -813,6 +818,9 @@ func cmdPid(in *Interp, argv []string) (string, error) {
 func cmdExit(in *Interp, argv []string) (string, error) {
 	code := "0"
 	if len(argv) == 2 {
+		if _, err := strconv.Atoi(strings.TrimSpace(argv[1])); err != nil {
+			return "", NewError("expected integer but got %q", argv[1])
+		}
 		code = argv[1]
 	}
 	return "", &Error{Code: CodeExit, Value: code}

@@ -11,7 +11,26 @@ import (
 // command ([cmd]) references inside the expression are resolved against
 // the interpreter, which is what makes braced expr arguments work:
 // expr {$i < 10}.
+//
+// Expressions compile once to an AST cached per source string; sources
+// the compiler rejects evaluate through the classic interleaved
+// parser, which reproduces the original error messages and the order
+// in which substitution side effects surface.
 func (in *Interp) ExprEval(s string) (string, error) {
+	if n := in.compileExprCached(s); n != nil {
+		ev := &exprEvaluator{in: in}
+		v, err := n.eval(ev)
+		if err != nil {
+			return "", err
+		}
+		return v.String(), nil
+	}
+	return in.exprEvalClassic(s)
+}
+
+// exprEvalClassic is the original Tcl-6-style evaluator that parses
+// and evaluates in one pass.
+func (in *Interp) exprEvalClassic(s string) (string, error) {
 	e := &exprParser{in: in, src: s}
 	v, err := e.parseTernary()
 	if err != nil {
@@ -165,30 +184,7 @@ func (e *exprParser) skipSpace() {
 
 func (e *exprParser) peekOp() string {
 	e.skipSpace()
-	if e.atEnd() {
-		return ""
-	}
-	two := ""
-	if e.pos+2 <= len(e.src) {
-		two = e.src[e.pos : e.pos+2]
-	}
-	switch two {
-	case "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "**":
-		return two
-	}
-	c := e.src[e.pos]
-	switch c {
-	case '+', '-', '*', '/', '%', '<', '>', '&', '|', '^', '?', ':', '!', '~':
-		return string(c)
-	}
-	// word operators eq/ne (string comparison)
-	if e.pos+2 <= len(e.src) {
-		w := e.src[e.pos:min(e.pos+2, len(e.src))]
-		if (w == "eq" || w == "ne") && (e.pos+2 == len(e.src) || !isVarNameChar(e.src[e.pos+2])) {
-			return w
-		}
-	}
-	return ""
+	return peekExprOp(e.src, e.pos)
 }
 
 func (e *exprParser) consume(op string) {
@@ -494,58 +490,14 @@ func (e *exprParser) parseUnary() (exprVal, error) {
 	if e.atEnd() {
 		return exprVal{}, NewError("premature end of expression")
 	}
-	switch e.src[e.pos] {
-	case '-':
+	switch op := e.src[e.pos]; op {
+	case '-', '+', '!', '~':
 		e.pos++
 		v, err := e.parseUnary()
 		if err != nil {
 			return exprVal{}, err
 		}
-		v = coerce(v)
-		switch v.kind {
-		case vInt:
-			return intVal(-v.i), nil
-		case vFloat:
-			return floatVal(-v.f), nil
-		}
-		return exprVal{}, NewError("can't negate non-numeric %q", v.s)
-	case '+':
-		e.pos++
-		v, err := e.parseUnary()
-		if err != nil {
-			return exprVal{}, err
-		}
-		v = coerce(v)
-		if !v.isNumeric() {
-			return exprVal{}, NewError("can't use non-numeric string %q as operand of \"+\"", v.s)
-		}
-		return v, nil
-	case '!':
-		e.pos++
-		v, err := e.parseUnary()
-		if err != nil {
-			return exprVal{}, err
-		}
-		b, err := v.asBool()
-		if err != nil {
-			b2, err2 := coerce(v).asBool()
-			if err2 != nil {
-				return exprVal{}, err
-			}
-			b = b2
-		}
-		return intVal(b2i(!b)), nil
-	case '~':
-		e.pos++
-		v, err := e.parseUnary()
-		if err != nil {
-			return exprVal{}, err
-		}
-		v = coerce(v)
-		if v.kind != vInt {
-			return exprVal{}, NewError("can't use non-integer as operand of \"~\"")
-		}
-		return intVal(^v.i), nil
+		return applyUnary(op, v)
 	}
 	return e.parsePrimary()
 }
@@ -650,65 +602,9 @@ func (e *exprParser) parsePrimary() (exprVal, error) {
 }
 
 func (e *exprParser) parseNumber() (exprVal, error) {
-	start := e.pos
-	n := len(e.src)
-	isFloat := false
-	if e.pos+1 < n && e.src[e.pos] == '0' && (e.src[e.pos+1] == 'x' || e.src[e.pos+1] == 'X') {
-		e.pos += 2
-		for e.pos < n && hexVal(e.src[e.pos]) >= 0 {
-			e.pos++
-		}
-		iv, err := strconv.ParseInt(e.src[start:e.pos], 0, 64)
-		if err != nil {
-			return exprVal{}, NewError("bad hex number %q", e.src[start:e.pos])
-		}
-		return intVal(iv), nil
-	}
-	for e.pos < n {
-		c := e.src[e.pos]
-		if c >= '0' && c <= '9' {
-			e.pos++
-			continue
-		}
-		if c == '.' {
-			isFloat = true
-			e.pos++
-			continue
-		}
-		if c == 'e' || c == 'E' {
-			// exponent
-			if e.pos+1 < n && (e.src[e.pos+1] == '+' || e.src[e.pos+1] == '-' || (e.src[e.pos+1] >= '0' && e.src[e.pos+1] <= '9')) {
-				isFloat = true
-				e.pos++
-				if e.src[e.pos] == '+' || e.src[e.pos] == '-' {
-					e.pos++
-				}
-				continue
-			}
-			break
-		}
-		break
-	}
-	text := e.src[start:e.pos]
-	if isFloat {
-		f, err := strconv.ParseFloat(text, 64)
-		if err != nil {
-			return exprVal{}, NewError("bad number %q", text)
-		}
-		return floatVal(f), nil
-	}
-	// Leading zero means octal in classic Tcl.
-	if len(text) > 1 && text[0] == '0' {
-		iv, err := strconv.ParseInt(text, 8, 64)
-		if err == nil {
-			return intVal(iv), nil
-		}
-	}
-	iv, err := strconv.ParseInt(text, 10, 64)
-	if err != nil {
-		return exprVal{}, NewError("bad number %q", text)
-	}
-	return intVal(iv), nil
+	v, np, err := scanExprNumber(e.src, e.pos)
+	e.pos = np
+	return v, err
 }
 
 func (e *exprParser) parseFuncCall(name string) (exprVal, error) {

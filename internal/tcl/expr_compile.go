@@ -1,0 +1,650 @@
+package tcl
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file compiles expressions to a small AST so that hot
+// expressions (loop tests, callback arithmetic) parse once. The
+// compiler is purely syntactic — it never touches the interpreter —
+// so when it fails the classic parse-as-you-evaluate path
+// (exprEvalClassic) runs instead and reproduces the original
+// behavior, including the order in which substitution side effects
+// and errors interleave with parsing.
+
+type exprNode interface {
+	eval(ev *exprEvaluator) (exprVal, error)
+}
+
+// exprEvaluator carries evaluation state: the interpreter for
+// substitutions and the skip depth for short-circuited operands.
+type exprEvaluator struct {
+	in *Interp
+	// skipDepth > 0 means the operand being evaluated will not be used
+	// (short-circuited && / || or the untaken ternary branch); variable
+	// and command substitution is suppressed and operator errors are
+	// ignored, matching the classic parser.
+	skipDepth int
+}
+
+type exprLit struct{ v exprVal }
+
+func (n *exprLit) eval(*exprEvaluator) (exprVal, error) { return n.v, nil }
+
+type exprVarNode struct{ tok token }
+
+func (n *exprVarNode) eval(ev *exprEvaluator) (exprVal, error) {
+	if ev.skipDepth > 0 {
+		return intVal(0), nil
+	}
+	s, err := ev.in.substToken(n.tok)
+	if err != nil {
+		return exprVal{}, err
+	}
+	return coerce(strVal(s)), nil
+}
+
+type exprCmdNode struct{ script *Script }
+
+func (n *exprCmdNode) eval(ev *exprEvaluator) (exprVal, error) {
+	if ev.skipDepth > 0 {
+		return intVal(0), nil
+	}
+	s, err := ev.in.EvalScript(n.script)
+	if err != nil {
+		return exprVal{}, err
+	}
+	return coerce(strVal(s)), nil
+}
+
+// exprQuotedNode is a "..." word; like the classic parser it is
+// substituted even in skipped operands, and substitution errors
+// propagate.
+type exprQuotedNode struct{ w word }
+
+func (n *exprQuotedNode) eval(ev *exprEvaluator) (exprVal, error) {
+	s, err := ev.in.substWord(n.w)
+	if err != nil {
+		return exprVal{}, err
+	}
+	return strVal(s), nil
+}
+
+type exprUnaryNode struct {
+	op byte
+	x  exprNode
+}
+
+func (n *exprUnaryNode) eval(ev *exprEvaluator) (exprVal, error) {
+	v, err := n.x.eval(ev)
+	if err != nil {
+		return exprVal{}, err
+	}
+	return applyUnary(n.op, v)
+}
+
+type exprBinaryNode struct {
+	op   string
+	l, r exprNode
+}
+
+func (n *exprBinaryNode) eval(ev *exprEvaluator) (exprVal, error) {
+	l, err := n.l.eval(ev)
+	if err != nil {
+		return exprVal{}, err
+	}
+	r, err := n.r.eval(ev)
+	if err != nil {
+		return exprVal{}, err
+	}
+	v, err := applyBinary(n.op, l, r)
+	if err != nil {
+		if ev.skipDepth > 0 {
+			return intVal(0), nil
+		}
+		return exprVal{}, err
+	}
+	return v, nil
+}
+
+type exprAndOrNode struct {
+	isAnd bool
+	l, r  exprNode
+}
+
+func (n *exprAndOrNode) eval(ev *exprEvaluator) (exprVal, error) {
+	l, err := n.l.eval(ev)
+	if err != nil {
+		return exprVal{}, err
+	}
+	lb, err := l.asBool()
+	if err != nil {
+		return exprVal{}, err
+	}
+	decided := (n.isAnd && !lb) || (!n.isAnd && lb)
+	if decided {
+		ev.skipDepth++
+		_, err := n.r.eval(ev)
+		ev.skipDepth--
+		if err != nil {
+			return exprVal{}, err
+		}
+		return intVal(b2i(lb)), nil
+	}
+	r, err := n.r.eval(ev)
+	if err != nil {
+		return exprVal{}, err
+	}
+	rb, err := r.asBool()
+	if err != nil {
+		return exprVal{}, err
+	}
+	if n.isAnd {
+		return intVal(b2i(lb && rb)), nil
+	}
+	return intVal(b2i(lb || rb)), nil
+}
+
+// exprTernaryNode evaluates both branches — the untaken one in skip
+// mode — exactly as the classic parser must, since it cannot skip
+// over unparsed text.
+type exprTernaryNode struct {
+	cond, thenN, elseN exprNode
+}
+
+func (n *exprTernaryNode) eval(ev *exprEvaluator) (exprVal, error) {
+	c, err := n.cond.eval(ev)
+	if err != nil {
+		return exprVal{}, err
+	}
+	b, err := c.asBool()
+	if err != nil {
+		return exprVal{}, err
+	}
+	if !b {
+		ev.skipDepth++
+	}
+	tv, err := n.thenN.eval(ev)
+	if !b {
+		ev.skipDepth--
+	}
+	if err != nil {
+		return exprVal{}, err
+	}
+	if b {
+		ev.skipDepth++
+	}
+	fv, err := n.elseN.eval(ev)
+	if b {
+		ev.skipDepth--
+	}
+	if err != nil {
+		return exprVal{}, err
+	}
+	if b {
+		return tv, nil
+	}
+	return fv, nil
+}
+
+type exprFuncNode struct {
+	name string
+	args []exprNode
+}
+
+func (n *exprFuncNode) eval(ev *exprEvaluator) (exprVal, error) {
+	args := make([]exprVal, len(n.args))
+	for i, a := range n.args {
+		v, err := a.eval(ev)
+		if err != nil {
+			return exprVal{}, err
+		}
+		args[i] = v
+	}
+	return applyFunc(n.name, args)
+}
+
+// applyUnary applies a unary operator; shared between the classic
+// parser and the compiled evaluator so behavior cannot drift.
+func applyUnary(op byte, v exprVal) (exprVal, error) {
+	switch op {
+	case '-':
+		v = coerce(v)
+		switch v.kind {
+		case vInt:
+			return intVal(-v.i), nil
+		case vFloat:
+			return floatVal(-v.f), nil
+		}
+		return exprVal{}, NewError("can't negate non-numeric %q", v.s)
+	case '+':
+		v = coerce(v)
+		if !v.isNumeric() {
+			return exprVal{}, NewError("can't use non-numeric string %q as operand of \"+\"", v.s)
+		}
+		return v, nil
+	case '!':
+		b, err := v.asBool()
+		if err != nil {
+			b2, err2 := coerce(v).asBool()
+			if err2 != nil {
+				return exprVal{}, err
+			}
+			b = b2
+		}
+		return intVal(b2i(!b)), nil
+	case '~':
+		v = coerce(v)
+		if v.kind != vInt {
+			return exprVal{}, NewError("can't use non-integer as operand of \"~\"")
+		}
+		return intVal(^v.i), nil
+	}
+	return exprVal{}, NewError("unknown unary operator %q", string(op))
+}
+
+// peekExprOp returns the operator starting at pos (which must already
+// be past any whitespace), or "".
+func peekExprOp(src string, pos int) string {
+	if pos >= len(src) {
+		return ""
+	}
+	if pos+2 <= len(src) {
+		switch two := src[pos : pos+2]; two {
+		case "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "**":
+			return two
+		}
+	}
+	switch c := src[pos]; c {
+	case '+', '-', '*', '/', '%', '<', '>', '&', '|', '^', '?', ':', '!', '~':
+		return string(c)
+	}
+	// word operators eq/ne (string comparison)
+	if pos+2 <= len(src) {
+		w := src[pos : pos+2]
+		if (w == "eq" || w == "ne") && (pos+2 == len(src) || !isVarNameChar(src[pos+2])) {
+			return w
+		}
+	}
+	return ""
+}
+
+// scanExprNumber scans a numeric literal starting at pos and returns
+// the value and the position after it.
+func scanExprNumber(src string, pos int) (exprVal, int, error) {
+	start := pos
+	n := len(src)
+	isFloat := false
+	if pos+1 < n && src[pos] == '0' && (src[pos+1] == 'x' || src[pos+1] == 'X') {
+		pos += 2
+		for pos < n && hexVal(src[pos]) >= 0 {
+			pos++
+		}
+		iv, err := strconv.ParseInt(src[start:pos], 0, 64)
+		if err != nil {
+			return exprVal{}, pos, NewError("bad hex number %q", src[start:pos])
+		}
+		return intVal(iv), pos, nil
+	}
+	for pos < n {
+		c := src[pos]
+		if c >= '0' && c <= '9' {
+			pos++
+			continue
+		}
+		if c == '.' {
+			isFloat = true
+			pos++
+			continue
+		}
+		if c == 'e' || c == 'E' {
+			// exponent
+			if pos+1 < n && (src[pos+1] == '+' || src[pos+1] == '-' || (src[pos+1] >= '0' && src[pos+1] <= '9')) {
+				isFloat = true
+				pos++
+				if src[pos] == '+' || src[pos] == '-' {
+					pos++
+				}
+				continue
+			}
+			break
+		}
+		break
+	}
+	text := src[start:pos]
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return exprVal{}, pos, NewError("bad number %q", text)
+		}
+		return floatVal(f), pos, nil
+	}
+	// Leading zero means octal in classic Tcl.
+	if len(text) > 1 && text[0] == '0' {
+		if iv, err := strconv.ParseInt(text, 8, 64); err == nil {
+			return intVal(iv), pos, nil
+		}
+	}
+	iv, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return exprVal{}, pos, NewError("bad number %q", text)
+	}
+	return intVal(iv), pos, nil
+}
+
+// exprCompiler builds an exprNode tree from source without touching
+// the interpreter. Any parse failure simply aborts compilation; the
+// caller then evaluates via the classic parser.
+type exprCompiler struct {
+	src string
+	pos int
+}
+
+func (c *exprCompiler) atEnd() bool { return c.pos >= len(c.src) }
+
+func (c *exprCompiler) skipSpace() {
+	for !c.atEnd() {
+		ch := c.src[c.pos]
+		if ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r' {
+			c.pos++
+			continue
+		}
+		return
+	}
+}
+
+func (c *exprCompiler) peekOp() string {
+	c.skipSpace()
+	return peekExprOp(c.src, c.pos)
+}
+
+func (c *exprCompiler) consume(op string) {
+	c.skipSpace()
+	c.pos += len(op)
+}
+
+var errExprCompile = fmt.Errorf("expression does not compile")
+
+// compileExprAST compiles a full expression; any syntactic oddity
+// (including trailing junk) returns an error so the classic parser
+// handles the source instead.
+func compileExprAST(src string) (exprNode, error) {
+	c := &exprCompiler{src: src}
+	n, err := c.compileTernary()
+	if err != nil {
+		return nil, err
+	}
+	c.skipSpace()
+	if !c.atEnd() {
+		return nil, errExprCompile
+	}
+	return n, nil
+}
+
+func (c *exprCompiler) compileTernary() (exprNode, error) {
+	cond, err := c.compileBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if c.peekOp() == "?" {
+		c.consume("?")
+		thenN, err := c.compileTernary()
+		if err != nil {
+			return nil, err
+		}
+		if c.peekOp() != ":" {
+			return nil, errExprCompile
+		}
+		c.consume(":")
+		elseN, err := c.compileTernary()
+		if err != nil {
+			return nil, err
+		}
+		return &exprTernaryNode{cond: cond, thenN: thenN, elseN: elseN}, nil
+	}
+	return cond, nil
+}
+
+func (c *exprCompiler) compileBinary(level int) (exprNode, error) {
+	if level >= len(precLevels) {
+		return c.compileUnary()
+	}
+	left, err := c.compileBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := c.peekOp()
+		found := false
+		for _, cand := range precLevels[level] {
+			if op == cand {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return left, nil
+		}
+		c.consume(op)
+		right, err := c.compileBinary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		if op == "&&" || op == "||" {
+			left = &exprAndOrNode{isAnd: op == "&&", l: left, r: right}
+		} else {
+			left = foldBinary(op, left, right)
+		}
+	}
+}
+
+func (c *exprCompiler) compileUnary() (exprNode, error) {
+	c.skipSpace()
+	if c.atEnd() {
+		return nil, errExprCompile
+	}
+	switch op := c.src[c.pos]; op {
+	case '-', '+', '!', '~':
+		c.pos++
+		x, err := c.compileUnary()
+		if err != nil {
+			return nil, err
+		}
+		return foldUnary(op, x), nil
+	}
+	return c.compilePrimary()
+}
+
+func (c *exprCompiler) compilePrimary() (exprNode, error) {
+	c.skipSpace()
+	if c.atEnd() {
+		return nil, errExprCompile
+	}
+	ch := c.src[c.pos]
+	switch {
+	case ch == '(':
+		c.pos++
+		n, err := c.compileTernary()
+		if err != nil {
+			return nil, err
+		}
+		c.skipSpace()
+		if c.atEnd() || c.src[c.pos] != ')' {
+			return nil, errExprCompile
+		}
+		c.pos++
+		return n, nil
+	case ch == '$':
+		p := &parser{src: c.src, pos: c.pos}
+		t, err := p.parseVarToken()
+		if err != nil {
+			return nil, err
+		}
+		c.pos = p.pos
+		if t.hasIdx {
+			compileWordTokens(t.index)
+		}
+		return &exprVarNode{tok: t}, nil
+	case ch == '[':
+		p := &parser{src: c.src, pos: c.pos}
+		t, err := p.parseCommandToken()
+		if err != nil {
+			return nil, err
+		}
+		c.pos = p.pos
+		return &exprCmdNode{script: compileScript(t.text)}, nil
+	case ch == '"':
+		p := &parser{src: c.src, pos: c.pos}
+		w, err := p.parseQuotedWordForExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.pos = p.pos
+		compileWordTokens(w.tokens)
+		if len(w.tokens) == 0 {
+			return &exprLit{v: strVal("")}, nil
+		}
+		if len(w.tokens) == 1 && w.tokens[0].kind == tokText {
+			return &exprLit{v: strVal(w.tokens[0].text)}, nil
+		}
+		return &exprQuotedNode{w: w}, nil
+	case ch == '{':
+		p := &parser{src: c.src, pos: c.pos}
+		s, err := p.parseBracedWordForExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.pos = p.pos
+		return &exprLit{v: strVal(s)}, nil
+	case ch >= '0' && ch <= '9' || ch == '.':
+		v, np, err := scanExprNumber(c.src, c.pos)
+		if err != nil {
+			return nil, err
+		}
+		c.pos = np
+		return &exprLit{v: v}, nil
+	default:
+		start := c.pos
+		for !c.atEnd() && isVarNameChar(c.src[c.pos]) {
+			c.pos++
+		}
+		if c.pos == start {
+			return nil, errExprCompile
+		}
+		name := c.src[start:c.pos]
+		c.skipSpace()
+		if !c.atEnd() && c.src[c.pos] == '(' {
+			return c.compileFunc(name)
+		}
+		switch strings.ToLower(name) {
+		case "true", "yes", "on":
+			return &exprLit{v: intVal(1)}, nil
+		case "false", "no", "off":
+			return &exprLit{v: intVal(0)}, nil
+		case "inf":
+			return &exprLit{v: floatVal(math.Inf(1))}, nil
+		case "nan":
+			return &exprLit{v: floatVal(math.NaN())}, nil
+		}
+		// Unknown barewords go to the classic parser, which raises the
+		// error after any preceding substitutions have run.
+		return nil, errExprCompile
+	}
+}
+
+func (c *exprCompiler) compileFunc(name string) (exprNode, error) {
+	c.pos++ // consume (
+	var args []exprNode
+	c.skipSpace()
+	if !c.atEnd() && c.src[c.pos] == ')' {
+		c.pos++
+	} else {
+		for {
+			n, err := c.compileTernary()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, n)
+			c.skipSpace()
+			if c.atEnd() {
+				return nil, errExprCompile
+			}
+			if c.src[c.pos] == ',' {
+				c.pos++
+				continue
+			}
+			if c.src[c.pos] == ')' {
+				c.pos++
+				break
+			}
+			return nil, errExprCompile
+		}
+	}
+	return foldFunc(name, args), nil
+}
+
+// foldUnary, foldBinary and foldFunc fold constant subtrees at compile
+// time. Folding only happens when application succeeds — a folding
+// error (divide by zero, non-numeric operand) keeps the node so the
+// error is raised (or skipped) at evaluation time like before.
+func foldUnary(op byte, x exprNode) exprNode {
+	if lit, ok := x.(*exprLit); ok {
+		if v, err := applyUnary(op, lit.v); err == nil {
+			return &exprLit{v: v}
+		}
+	}
+	return &exprUnaryNode{op: op, x: x}
+}
+
+func foldBinary(op string, l, r exprNode) exprNode {
+	ll, lok := l.(*exprLit)
+	rr, rok := r.(*exprLit)
+	if lok && rok {
+		if v, err := applyBinary(op, ll.v, rr.v); err == nil {
+			return &exprLit{v: v}
+		}
+	}
+	return &exprBinaryNode{op: op, l: l, r: r}
+}
+
+func foldFunc(name string, args []exprNode) exprNode {
+	vals := make([]exprVal, len(args))
+	for i, a := range args {
+		lit, ok := a.(*exprLit)
+		if !ok {
+			return &exprFuncNode{name: name, args: args}
+		}
+		vals[i] = lit.v
+	}
+	if v, err := applyFunc(name, vals); err == nil {
+		return &exprLit{v: v}
+	}
+	return &exprFuncNode{name: name, args: args}
+}
+
+// compiledExpr is the cache entry; a nil node marks a source that
+// does not compile, so repeated evaluations skip the compile attempt
+// and go straight to the classic parser.
+type compiledExpr struct{ node exprNode }
+
+func (in *Interp) compileExprCached(s string) exprNode {
+	if in.exprCache == nil || len(s) > maxCachedSrcLen {
+		n, err := compileExprAST(s)
+		if err != nil {
+			return nil
+		}
+		return n
+	}
+	if v, ok := in.exprCache.get(s); ok {
+		return v.(*compiledExpr).node
+	}
+	n, err := compileExprAST(s)
+	if err != nil {
+		n = nil
+	}
+	in.exprCache.put(s, &compiledExpr{node: n})
+	return n
+}

@@ -3,6 +3,7 @@ package tcl
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -21,14 +22,22 @@ const (
 )
 
 // IsExit reports whether err is a Tcl exit request and returns the exit
-// status if so.
+// status if so. An empty value means a plain "exit" (status 0); any
+// other value must be a whole decimal integer — a malformed value
+// reports status 1 rather than masquerading as success.
 func IsExit(err error) (int, bool) {
 	te, ok := err.(*Error)
 	if !ok || te.Code != CodeExit {
 		return 0, false
 	}
-	n := 0
-	fmt.Sscanf(te.Value, "%d", &n)
+	s := strings.TrimSpace(te.Value)
+	if s == "" {
+		return 0, true
+	}
+	n, convErr := strconv.Atoi(s)
+	if convErr != nil {
+		return 1, true
+	}
 	return n, true
 }
 
@@ -64,6 +73,12 @@ type Proc struct {
 	Name string
 	Args []ProcArg
 	Body string
+
+	// compiled is the Body compiled once at registration (or lazily on
+	// the first call, for procs built directly by embedders). It is
+	// derived purely from Body; redefining a proc installs a fresh Proc
+	// with a fresh compiled body, so no invalidation is needed.
+	compiled *Script
 }
 
 // ProcArg is one formal parameter of a proc, with an optional default.
@@ -125,15 +140,24 @@ type Interp struct {
 	// errorUnwinding marks that errorInfo is being accumulated for the
 	// currently-propagating error.
 	errorUnwinding bool
+
+	// scriptCache interns compiled scripts by source string, so that
+	// repeatedly evaluated callbacks and bodies compile once. A nil
+	// cache disables interning (SetScriptCacheSize(0)).
+	scriptCache *lruCache
+	// exprCache interns compiled expression ASTs by source string.
+	exprCache *lruCache
 }
 
 // New creates an interpreter with the standard command set registered.
 func New() *Interp {
 	in := &Interp{
-		commands:   make(map[string]CommandFunc),
-		procs:      make(map[string]*Proc),
-		frames:     []*frame{{vars: make(map[string]*variable)}},
-		maxNesting: 1000,
+		commands:    make(map[string]CommandFunc),
+		procs:       make(map[string]*Proc),
+		frames:      []*frame{{vars: make(map[string]*variable)}},
+		maxNesting:  1000,
+		scriptCache: newLRUCache(defaultScriptCacheSize),
+		exprCache:   newLRUCache(defaultExprCacheSize),
 	}
 	in.Stdout = func(line string) {
 		in.output.WriteString(line)
@@ -349,44 +373,10 @@ func (in *Interp) linkVar(target *frame, name, localName string) error {
 }
 
 // Eval evaluates a script and returns the result of its last command.
+// The script is compiled once and interned, so evaluating the same
+// source again (callback fires, loop bodies) skips the parser.
 func (in *Interp) Eval(script string) (string, error) {
-	in.nesting++
-	defer func() { in.nesting-- }()
-	if in.nesting > in.maxNesting {
-		return "", NewError("too many nested calls to Eval (infinite loop?)")
-	}
-	if in.nesting == 1 {
-		// A fresh top-level evaluation starts a fresh traceback.
-		in.errorUnwinding = false
-	}
-	p := newParser(script)
-	result := ""
-	for {
-		cmd, err := p.nextCommand()
-		if err != nil {
-			return "", &Error{Code: CodeError, Value: err.Error()}
-		}
-		if cmd == nil {
-			return result, nil
-		}
-		argv, err := in.substWords(cmd.words)
-		if err != nil {
-			return "", err
-		}
-		if len(argv) == 0 {
-			continue
-		}
-		result, err = in.invoke(argv)
-		if err != nil {
-			if in.nesting == 1 {
-				// The error reached the top level: finish the
-				// traceback (or start it, for a top-level error).
-				in.recordErrorInfo(err, fmt.Sprintf("while executing %q", argv[0]))
-				in.errorUnwinding = false
-			}
-			return result, err
-		}
-	}
+	return in.EvalScript(in.compileCached(script))
 }
 
 // EvalWords invokes a command given pre-substituted words, bypassing the
@@ -456,6 +446,9 @@ func (in *Interp) substToken(t token) (string, error) {
 		}
 		return in.GetVar(name)
 	case tokCommand:
+		if t.script != nil {
+			return in.EvalScript(t.script)
+		}
 		return in.Eval(t.text)
 	}
 	return "", NewError("internal: bad token kind")
@@ -559,7 +552,10 @@ func (in *Interp) callProc(p *Proc, argv []string) (string, error) {
 	}
 	in.frames = append(in.frames, f)
 	defer func() { in.frames = in.frames[:len(in.frames)-1] }()
-	res, err := in.Eval(p.Body)
+	if p.compiled == nil {
+		p.compiled = compileScript(p.Body)
+	}
+	res, err := in.EvalScript(p.compiled)
 	if err != nil {
 		var te *Error
 		if asTclError(err, &te) {
@@ -583,11 +579,4 @@ func asTclError(err error, out **Error) bool {
 		*out = te
 	}
 	return ok
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -14,9 +14,11 @@ import (
 	"strings"
 )
 
-// A parser walks a script one command at a time. Like classic Tcl the
-// interpreter re-parses scripts on each evaluation; there is no separate
-// compilation step.
+// A parser walks a script one command at a time. The parser's output
+// (the command/word/token lists) is wrapped by Script (script.go) so
+// that a source string compiles once and evaluates many times, in the
+// spirit of the Tcl 7→8 transition; substitution still happens at
+// evaluation time, keeping values strings throughout.
 type parser struct {
 	src string
 	pos int
@@ -47,6 +49,11 @@ type token struct {
 	// and the variable reference had the form $name(index).
 	index  []token
 	hasIdx bool
+	// script is the compiled form of text when kind==tokCommand and the
+	// token came from a compiled Script; nil when the token was parsed
+	// standalone (Subst, expr fallback), in which case evaluation goes
+	// through the interning Eval.
+	script *Script
 }
 
 // command is one parsed command: a sequence of words.

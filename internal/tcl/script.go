@@ -1,0 +1,262 @@
+package tcl
+
+import "fmt"
+
+// This file adds the Tcl 7→8 style "compile once, evaluate many"
+// pipeline. A Script is the parser's command/word/token list, produced
+// once and reusable across evaluations; Eval becomes compile+eval with
+// an LRU intern cache keyed by the source string. Values remain
+// strings throughout — compilation only amortizes tokenization, it
+// never introduces a second value representation, so the string-only
+// semantics Wafe relies on are untouched.
+
+// Script is an immutable compiled script: the sequence of parsed
+// commands produced by the parser. A Script may be evaluated any
+// number of times, on any interpreter; command names are resolved at
+// invocation time, so redefining or renaming a proc between
+// evaluations behaves exactly as it would with re-parsed source.
+type Script struct {
+	// Source is the script text the Script was compiled from.
+	Source string
+
+	cmds []*parsedCommand
+
+	// parseErr records the parse error that terminated compilation, if
+	// any. The commands preceding the error are kept so that evaluation
+	// can run them before reporting the error, exactly as the
+	// incremental parse-as-you-go evaluator did.
+	parseErr *Error
+}
+
+// compileScript parses src into a Script. It never fails: a parse
+// error is recorded on the Script and replayed at evaluation time,
+// after the commands that precede it have run (matching the
+// incremental evaluator, which only discovers a parse error once
+// evaluation reaches the malformed command).
+func compileScript(src string) *Script {
+	s := &Script{Source: src}
+	p := newParser(src)
+	for {
+		cmd, err := p.nextCommand()
+		if err != nil {
+			s.parseErr = &Error{Code: CodeError, Value: err.Error()}
+			return s
+		}
+		if cmd == nil {
+			return s
+		}
+		for i := range cmd.words {
+			compileWordTokens(cmd.words[i].tokens)
+		}
+		s.cmds = append(s.cmds, cmd)
+	}
+}
+
+// compileWordTokens eagerly compiles the nested [script] substitutions
+// of a word so that evaluation never re-parses them.
+func compileWordTokens(toks []token) {
+	for i := range toks {
+		t := &toks[i]
+		switch t.kind {
+		case tokCommand:
+			t.script = compileScript(t.text)
+		case tokVar:
+			if t.hasIdx {
+				compileWordTokens(t.index)
+			}
+		}
+	}
+}
+
+// Compile parses src into a reusable Script. When src is malformed the
+// returned Script is still evaluable — it runs the well-formed prefix
+// and then reports the parse error, exactly as Eval on the raw source
+// would — and the error is also returned for callers that want to
+// reject bad scripts up front.
+func Compile(src string) (*Script, error) {
+	s := compileScript(src)
+	if s.parseErr != nil {
+		return s, s.parseErr
+	}
+	return s, nil
+}
+
+// IsComplete reports whether the script parsed without error.
+func (s *Script) IsComplete() bool { return s.parseErr == nil }
+
+// maxCachedSrcLen bounds the size of sources kept in the intern cache;
+// larger scripts (generated programs, file contents) compile fresh so
+// a single entry cannot dominate the cache's memory.
+const maxCachedSrcLen = 64 * 1024
+
+const (
+	defaultScriptCacheSize = 512
+	defaultExprCacheSize   = 256
+)
+
+// lruEntry is one node of the cache's recency list.
+type lruEntry struct {
+	key        string
+	val        any
+	prev, next *lruEntry
+}
+
+// lruCache is a small string-keyed cache with least-recently-used
+// eviction. head is the most recently used entry.
+type lruCache struct {
+	cap  int
+	m    map[string]*lruEntry
+	head *lruEntry
+	tail *lruEntry
+}
+
+func newLRUCache(cap int) *lruCache {
+	return &lruCache{cap: cap, m: make(map[string]*lruEntry, cap)}
+}
+
+func (c *lruCache) unlink(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *lruCache) pushFront(e *lruEntry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *lruCache) get(key string) (any, bool) {
+	e, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	if c.head != e {
+		c.unlink(e)
+		c.pushFront(e)
+	}
+	return e.val, true
+}
+
+func (c *lruCache) put(key string, val any) {
+	if e, ok := c.m[key]; ok {
+		e.val = val
+		if c.head != e {
+			c.unlink(e)
+			c.pushFront(e)
+		}
+		return
+	}
+	e := &lruEntry{key: key, val: val}
+	c.m[key] = e
+	c.pushFront(e)
+	if len(c.m) > c.cap {
+		evict := c.tail
+		c.unlink(evict)
+		delete(c.m, evict.key)
+	}
+}
+
+func (c *lruCache) len() int { return len(c.m) }
+
+// SetScriptCacheSize resizes the compiled-script intern cache. A size
+// of zero (or less) disables caching entirely, so every Eval compiles
+// fresh — the knob the differential tests use to compare the cached
+// and uncached paths. Resizing clears the cache.
+func (in *Interp) SetScriptCacheSize(n int) {
+	if n <= 0 {
+		in.scriptCache = nil
+		return
+	}
+	in.scriptCache = newLRUCache(n)
+}
+
+// SetExprCacheSize resizes the compiled-expression cache; zero (or
+// less) disables it so every expr re-parses its source.
+func (in *Interp) SetExprCacheSize(n int) {
+	if n <= 0 {
+		in.exprCache = nil
+		return
+	}
+	in.exprCache = newLRUCache(n)
+}
+
+// ScriptCacheLen reports how many compiled scripts are interned
+// (diagnostics and tests).
+func (in *Interp) ScriptCacheLen() int {
+	if in.scriptCache == nil {
+		return 0
+	}
+	return in.scriptCache.len()
+}
+
+// compileCached returns the interned Script for src, compiling it on a
+// cache miss.
+func (in *Interp) compileCached(src string) *Script {
+	if in.scriptCache == nil || len(src) > maxCachedSrcLen {
+		return compileScript(src)
+	}
+	if v, ok := in.scriptCache.get(src); ok {
+		return v.(*Script)
+	}
+	s := compileScript(src)
+	in.scriptCache.put(src, s)
+	return s
+}
+
+// EvalScript evaluates a compiled script and returns the result of its
+// last command. The completion-code and traceback behavior is
+// identical to Eval on the script's source.
+func (in *Interp) EvalScript(s *Script) (string, error) {
+	if s == nil {
+		return "", nil
+	}
+	in.nesting++
+	defer func() { in.nesting-- }()
+	if in.nesting > in.maxNesting {
+		return "", NewError("too many nested calls to Eval (infinite loop?)")
+	}
+	if in.nesting == 1 {
+		// A fresh top-level evaluation starts a fresh traceback.
+		in.errorUnwinding = false
+	}
+	result := ""
+	for _, cmd := range s.cmds {
+		argv, err := in.substWords(cmd.words)
+		if err != nil {
+			return "", err
+		}
+		if len(argv) == 0 {
+			continue
+		}
+		result, err = in.invoke(argv)
+		if err != nil {
+			if in.nesting == 1 {
+				// The error reached the top level: finish the
+				// traceback (or start it, for a top-level error).
+				in.recordErrorInfo(err, fmt.Sprintf("while executing %q", argv[0]))
+				in.errorUnwinding = false
+			}
+			return result, err
+		}
+	}
+	if s.parseErr != nil {
+		// The incremental evaluator runs every command preceding a
+		// malformed one before reporting the parse error; replay that.
+		return "", s.parseErr
+	}
+	return result, nil
+}

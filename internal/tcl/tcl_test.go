@@ -484,6 +484,25 @@ func TestExitCode(t *testing.T) {
 	}
 }
 
+func TestExitValidatesStatus(t *testing.T) {
+	in := New()
+	// A non-numeric status is a Tcl error, not a status-0 exit.
+	wantErr(t, in, "exit foo", "expected integer")
+	// Plain exit defaults to status 0.
+	_, err := in.Eval("exit")
+	if n, ok := IsExit(err); !ok || n != 0 {
+		t.Fatalf("exit: got (%d,%v), err=%v", n, ok, err)
+	}
+	// IsExit never reports exit for ordinary errors.
+	_, err = in.Eval("error boom")
+	if _, ok := IsExit(err); ok {
+		t.Fatal("IsExit reported an ordinary error as exit")
+	}
+	if _, ok := IsExit(nil); ok {
+		t.Fatal("IsExit reported nil as exit")
+	}
+}
+
 func TestUnknownHandler(t *testing.T) {
 	in := New()
 	in.Unknown = func(in *Interp, argv []string) (string, error) {

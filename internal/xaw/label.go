@@ -85,7 +85,7 @@ func labelRedisplay(w *xt.Widget) {
 	gc.Font = w.FontRes("font")
 	f := gc.Font
 	y := w.Int("internalHeight") + f.Ascent
-	for _, line := range strings.Split(labelText(w), "\n") {
+	drawLine := func(line string) {
 		x := w.Int("internalWidth")
 		switch w.Str("justify") {
 		case "center":
@@ -99,6 +99,15 @@ func labelRedisplay(w *xt.Widget) {
 		}
 		d.DrawString(win, gc, x, y, line)
 		y += f.Height()
+	}
+	text := labelText(w)
+	// Single-line labels (the common case) skip the line split.
+	if !strings.Contains(text, "\n") {
+		drawLine(text)
+		return
+	}
+	for _, line := range strings.Split(text, "\n") {
+		drawLine(line)
 	}
 }
 

@@ -3,6 +3,7 @@ package xaw
 import (
 	"os"
 	"strings"
+	"unicode/utf8"
 
 	"wafe/internal/xproto"
 	"wafe/internal/xt"
@@ -83,6 +84,16 @@ type textPrivate struct {
 
 	selAnchor, selStart, selEnd int
 	selecting                   bool
+
+	// Caret geometry cache: the row/column of caretPos in caretBuf.
+	// Redisplay consults it so an unchanged buffer needs no O(n) prefix
+	// scan, and the editing actions update it incrementally (caret
+	// geometry depends only on the text before the caret).
+	caretBuf      string
+	caretPos      int
+	caretRow      int
+	caretCol      int // column in runes from the line start
+	caretOK       bool
 }
 
 func textState(w *xt.Widget) *textPrivate {
@@ -134,8 +145,24 @@ func textInsertChar(w *xt.Widget, ev *xproto.Event, _ []string) {
 func insertText(w *xt.Widget, s string) {
 	buf := w.Str("string")
 	pos := clamp(w.Int("insertPosition"), 0, len(buf))
-	w.SetResourceValue("string", buf[:pos]+s+buf[pos:])
-	w.SetResourceValue("insertPosition", pos+len(s))
+	newBuf := buf[:pos] + s + buf[pos:]
+	newPos := pos + len(s)
+	st := textState(w)
+	if st.caretOK && st.caretPos == pos && st.caretBuf == buf {
+		// The text before the caret is the old prefix plus s, so the
+		// cached geometry advances by s alone.
+		if nl := strings.Count(s, "\n"); nl > 0 {
+			st.caretRow += nl
+			st.caretCol = utf8.RuneCountInString(s[strings.LastIndexByte(s, '\n')+1:])
+		} else {
+			st.caretCol += utf8.RuneCountInString(s)
+		}
+		st.caretBuf, st.caretPos = newBuf, newPos
+	} else {
+		st.caretOK = false
+	}
+	w.SetResourceValue("string", newBuf)
+	w.SetResourceValue("insertPosition", newPos)
 	w.Redraw()
 }
 
@@ -155,7 +182,18 @@ func textDeletePrev(w *xt.Widget, _ *xproto.Event, _ []string) {
 	if pos == 0 {
 		return
 	}
-	w.SetResourceValue("string", buf[:pos-1]+buf[pos:])
+	newBuf := buf[:pos-1] + buf[pos:]
+	st := textState(w)
+	deleted := buf[pos-1]
+	if st.caretOK && st.caretPos == pos && st.caretBuf == buf && deleted != '\n' && deleted < 0x80 {
+		st.caretCol--
+		st.caretBuf, st.caretPos = newBuf, pos-1
+	} else {
+		// Deleting a newline or part of a multi-byte rune needs a full
+		// rescan; let the next redisplay recompute.
+		st.caretOK = false
+	}
+	w.SetResourceValue("string", newBuf)
 	w.SetResourceValue("insertPosition", pos-1)
 	w.Redraw()
 }
@@ -359,10 +397,25 @@ func textRedisplay(w *xt.Widget) {
 	if w.Bool("displayCaret") && textEditable(w) {
 		buf := w.Str("string")
 		pos := clamp(w.Int("insertPosition"), 0, len(buf))
-		row := strings.Count(buf[:pos], "\n")
-		colStart := strings.LastIndexByte(buf[:pos], '\n') + 1
-		cx := 2 + gc.Font.TextWidth(buf[colStart:pos])
+		row, col := textCaret(w, buf, pos)
+		cx := 2 + gc.Font.Width*col
 		cy := 2 + row*gc.Font.Height()
 		d.DrawLine(win, gc, cx, cy, cx, cy+gc.Font.Height()-1)
 	}
+}
+
+// textCaret returns the caret's row and rune column, consulting and
+// refreshing the cache in textPrivate. A cache hit is O(1): the buffer
+// comparison short-circuits on the string header when the resource
+// still holds the same string value.
+func textCaret(w *xt.Widget, buf string, pos int) (row, col int) {
+	st := textState(w)
+	if st.caretOK && st.caretPos == pos && st.caretBuf == buf {
+		return st.caretRow, st.caretCol
+	}
+	row = strings.Count(buf[:pos], "\n")
+	colStart := strings.LastIndexByte(buf[:pos], '\n') + 1
+	col = utf8.RuneCountInString(buf[colStart:pos])
+	st.caretBuf, st.caretPos, st.caretRow, st.caretCol, st.caretOK = buf, pos, row, col, true
+	return row, col
 }

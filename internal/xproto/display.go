@@ -17,8 +17,15 @@ type Display struct {
 	windows map[WindowID]*Window
 	nextID  WindowID
 
+	// queue is the pending-event FIFO. qhead indexes the next event to
+	// deliver; once the queue drains, both reset so the backing array's
+	// capacity is reused instead of reallocating on every event cycle.
 	queue  []Event
+	qhead  int
 	serial uint64
+
+	// gcProto is the default graphics context NewGC copies.
+	gcProto GC
 
 	// Pointer state.
 	pointerX, pointerY int
@@ -100,6 +107,12 @@ func newDisplay(name string) *Display {
 		selections: make(map[string]*selection),
 		drawLog:    make(map[WindowID][]DrawOp),
 	}
+	d.gcProto = GC{
+		Foreground: d.BlackPixel(),
+		Background: d.WhitePixel(),
+		Font:       LoadFont("fixed"),
+		LineWidth:  1,
+	}
 	root := &Window{
 		ID:      1,
 		Parent:  None,
@@ -134,16 +147,24 @@ func (d *Display) enqueue(ev Event) {
 }
 
 // Pending returns the number of queued events (XPending).
-func (d *Display) Pending() int { return len(d.queue) }
+func (d *Display) Pending() int { return len(d.queue) - d.qhead }
 
 // NextEvent dequeues the oldest event. ok is false when the queue is
 // empty (the real call would block; the Xt layer treats empty as idle).
 func (d *Display) NextEvent() (Event, bool) {
-	if len(d.queue) == 0 {
+	if d.qhead >= len(d.queue) {
+		if len(d.queue) > 0 {
+			d.queue = d.queue[:0]
+			d.qhead = 0
+		}
 		return Event{}, false
 	}
-	ev := d.queue[0]
-	d.queue = d.queue[1:]
+	ev := d.queue[d.qhead]
+	d.qhead++
+	if d.qhead == len(d.queue) {
+		d.queue = d.queue[:0]
+		d.qhead = 0
+	}
 	return ev, true
 }
 

@@ -18,13 +18,12 @@ type GC struct {
 }
 
 // NewGC returns a GC with black-on-white defaults and the fixed font.
+// It copies a prototype built at display-open time, which keeps the
+// function inlinable — the draw requests never retain the GC, so a GC
+// that stays within its creating function lives on the stack.
 func (d *Display) NewGC() *GC {
-	return &GC{
-		Foreground: d.BlackPixel(),
-		Background: d.WhitePixel(),
-		Font:       LoadFont("fixed"),
-		LineWidth:  1,
-	}
+	gc := d.gcProto
+	return &gc
 }
 
 // DrawOpKind enumerates the rendering primitives.

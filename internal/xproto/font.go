@@ -1,6 +1,9 @@
 package xproto
 
-import "strings"
+import (
+	"strings"
+	"sync"
+)
 
 // Font is a fixed-metric server font. The headless server implements
 // only monospaced metrics, which is all the Athena widgets assume for
@@ -30,16 +33,38 @@ var builtinFonts = map[string]Font{
 	"cursor": {Name: "cursor", Width: 16, Ascent: 14, Descent: 2},
 }
 
+// fontCache interns resolved fonts by name. Font structs are
+// immutable once loaded (nothing in the tree writes to a Font), so
+// every lookup of the same name can share one instance — redisplay
+// paths call LoadFont on each draw.
+var (
+	fontCacheMu sync.Mutex
+	fontCache   = map[string]*Font{}
+)
+
 // LoadFont resolves a font name. XLFD patterns
 // (-foundry-family-weight-slant-*) and wildcard patterns resolve onto
 // the nearest builtin metric; the weight field selects bold. Unknown
 // names fall back to "fixed", matching the forgiving behaviour of
-// XLoadQueryFont users with a fallback.
+// XLoadQueryFont users with a fallback. The returned Font is shared
+// and must not be modified.
 func LoadFont(name string) *Font {
 	n := strings.TrimSpace(name)
 	if n == "" {
 		n = "fixed"
 	}
+	fontCacheMu.Lock()
+	if f, ok := fontCache[n]; ok {
+		fontCacheMu.Unlock()
+		return f
+	}
+	f := resolveFont(n)
+	fontCache[n] = f
+	fontCacheMu.Unlock()
+	return f
+}
+
+func resolveFont(n string) *Font {
 	if f, ok := builtinFonts[n]; ok {
 		cp := f
 		return &cp

@@ -50,6 +50,11 @@ type App struct {
 	quit     bool
 	quitCode int
 
+	// dispatchedCall points at the translation binding currently being
+	// dispatched, so action procedures can reach their per-binding
+	// Compiled cache slot. Nil outside DispatchEvent.
+	dispatchedCall *ActionCall
+
 	// ErrorHandler receives errors raised while dispatching actions and
 	// callbacks (default: collect into Errors).
 	ErrorHandler func(error)
@@ -198,7 +203,8 @@ func (app *App) DispatchEvent(d *xproto.Display, ev xproto.Event) {
 		return
 	}
 	calls := w.translations().Match(&ev)
-	for _, call := range calls {
+	for i := range calls {
+		call := &calls[i]
 		recv := w
 		if call.Target != nil && !call.Target.beingDestroyed {
 			recv = call.Target
@@ -208,9 +214,16 @@ func (app *App) DispatchEvent(d *xproto.Display, ev xproto.Event) {
 			app.raise(fmt.Errorf("xt: widget %q: unbound action %q", recv.Name, call.Name))
 			continue
 		}
+		app.dispatchedCall = call
 		proc(recv, &ev, call.Params)
+		app.dispatchedCall = nil
 	}
 }
+
+// DispatchedCall returns the translation binding whose action is
+// currently executing, or nil. Action procedures use it to cache a
+// parsed form of their params on the binding (ActionCall.Compiled).
+func (app *App) DispatchedCall() *ActionCall { return app.dispatchedCall }
 
 // Pump dispatches all pending events on all displays until the queues
 // are empty. Tests and the Wafe command layer call it after injecting

@@ -19,6 +19,9 @@ type Callback struct {
 	// "predefinedName shellName" for predefined callbacks.
 	Source string
 	Proc   CallbackProc
+	// Compiled is an opaque slot for the interpreter layer to stash a
+	// pre-parsed form of Source; xt never inspects it.
+	Compiled any
 }
 
 // CallbackList is the value of a Callback-typed resource.

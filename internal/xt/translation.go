@@ -20,6 +20,10 @@ type ActionCall struct {
 	Name   string
 	Params []string
 	Target *Widget
+	// Compiled is an opaque per-binding cache slot for action
+	// procedures that interpret their params (the Wafe exec action
+	// stores a pre-parsed script here); xt never inspects it.
+	Compiled any
 }
 
 // transEntry is one line of a translation table.

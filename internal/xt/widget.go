@@ -399,13 +399,24 @@ func (w *Widget) SetValues(args map[string]string) error {
 		if err != nil {
 			return fmt.Errorf("xt: widget %q resource %q: %v", w.Name, name, err)
 		}
-		w.setResource(name, v)
 		w.explicit[name] = true
+		// As in XtSetValues, setting a resource to its current value
+		// does not count as a change: the class set_values procedures
+		// report "no redisplay needed" and the widget is left alone.
+		// Only plain comparable values can be checked; anything else
+		// (callback lists, pixmaps) conservatively counts as changed.
+		if old, ok := w.Get(name); ok && scalarResourceEqual(old, v) {
+			continue
+		}
+		w.setResource(name, v)
 		changed[name] = true
 		switch name {
 		case "x", "y", "width", "height", "borderWidth":
 			geomChanged = true
 		}
+	}
+	if len(changed) == 0 {
+		return nil
 	}
 	for _, k := range w.Class.chain() {
 		if k.SetValues != nil {
@@ -425,6 +436,31 @@ func (w *Widget) SetValues(args map[string]string) error {
 		w.Redraw()
 	}
 	return nil
+}
+
+// scalarResourceEqual reports whether two converted resource values
+// are the same plain scalar. Non-scalar values (callback lists,
+// pixmaps, fonts) never compare equal, so SetValues treats them as
+// changed, as before.
+func scalarResourceEqual(a, b any) bool {
+	switch av := a.(type) {
+	case string:
+		bv, ok := b.(string)
+		return ok && av == bv
+	case int:
+		bv, ok := b.(int)
+		return ok && av == bv
+	case bool:
+		bv, ok := b.(bool)
+		return ok && av == bv
+	case float64:
+		bv, ok := b.(float64)
+		return ok && av == bv
+	case xproto.Pixel:
+		bv, ok := b.(xproto.Pixel)
+		return ok && av == bv
+	}
+	return false
 }
 
 // GetValue returns a resource value formatted as a string (the gV
@@ -491,12 +527,18 @@ func (w *Widget) preferredSize() (int, int) {
 }
 
 // setGeometry updates the core geometry resources and the server
-// window, then lets the class react.
+// window, then lets the class react. Like XtConfigureWidget it
+// returns immediately when the new geometry equals the old, without
+// reconfiguring the window or invoking the class resize procedure.
 func (w *Widget) setGeometry(x, y, width, height int) {
+	width, height = maxInt(width, 1), maxInt(height, 1)
+	if w.Int("x") == x && w.Int("y") == y && w.Int("width") == width && w.Int("height") == height {
+		return
+	}
 	w.setResource("x", x)
 	w.setResource("y", y)
-	w.setResource("width", maxInt(width, 1))
-	w.setResource("height", maxInt(height, 1))
+	w.setResource("width", width)
+	w.setResource("height", height)
 	w.applyGeometry()
 }
 

@@ -1,0 +1,19 @@
+#!/bin/sh
+# verify.sh — the tier-1 gate plus static analysis and the race
+# detector over the packages the compiled-script pipeline touches.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./internal/tcl/ ./internal/core/"
+go test -race ./internal/tcl/ ./internal/core/
+
+echo "verify: OK"
