@@ -16,11 +16,13 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"wafe/internal/core"
 	"wafe/internal/frontend"
+	"wafe/internal/obs"
 )
 
 func main() {
@@ -79,6 +81,39 @@ func run(args []string) int {
 		}
 	}
 	f := frontend.New(w, opts, os.Stdout)
+
+	// Observability: both flags enable the metrics layer; --debug-addr
+	// additionally serves expvar + pprof, and --metrics-dump writes
+	// the JSON document when the process exits.
+	if opts.MetricsDump != "" || opts.DebugAddr != "" {
+		m := w.EnableObservability()
+		if opts.DebugAddr != "" {
+			ln, err := obs.ServeDebug(opts.DebugAddr, m)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wafe: --debug-addr:", err)
+				return 2
+			}
+			defer ln.Close()
+			fmt.Fprintln(os.Stderr, "wafe: debug endpoint on http://"+ln.Addr().String())
+		}
+		if opts.MetricsDump != "" {
+			defer func() {
+				out := io.Writer(os.Stderr)
+				if opts.MetricsDump != "-" {
+					file, err := os.Create(opts.MetricsDump)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "wafe: --metrics-dump:", err)
+						return
+					}
+					defer file.Close()
+					out = file
+				}
+				if err := m.WriteJSON(out); err != nil {
+					fmt.Fprintln(os.Stderr, "wafe: --metrics-dump:", err)
+				}
+			}()
+		}
+	}
 
 	switch opts.Mode {
 	case frontend.ModeInteractive:

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -23,6 +24,42 @@ func TestRunBadArgs(t *testing.T) {
 	}
 	if code := run([]string{"wafe", "--f", "/no/such/script"}); code != 2 {
 		t.Errorf("missing script exit = %d", code)
+	}
+}
+
+// TestRunMetricsDump: --metrics-dump enables observability and writes
+// the JSON document when the process exits.
+func TestRunMetricsDump(t *testing.T) {
+	dir := t.TempDir()
+	script := filepath.Join(dir, "s.wafe")
+	dump := filepath.Join(dir, "metrics.json")
+	content := "label l topLevel\nrealize\nset x 1\nset x 1\nset x 1\nquit 0\n"
+	if err := os.WriteFile(script, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"wafe", "--f", script, "--metrics-dump", dump}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	data, err := os.ReadFile(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics map[string]int64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("dump is not JSON: %v (%q)", err, data)
+	}
+	if doc.Metrics["tcl.evals"] == 0 {
+		t.Errorf("tcl.evals = %d, want > 0", doc.Metrics["tcl.evals"])
+	}
+	if doc.Metrics["tcl.dispatch.set"] < 3 {
+		t.Errorf("tcl.dispatch.set = %d, want >= 3", doc.Metrics["tcl.dispatch.set"])
+	}
+	for _, key := range []string{"frontend.eval_errors", "xt.events_dispatched", "xproto.requests.CreateWindow"} {
+		if _, ok := doc.Metrics[key]; !ok {
+			t.Errorf("dump misses %s", key)
+		}
 	}
 }
 

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"os"
+	"strings"
+
+	"wafe/internal/tcl"
+)
+
+// registerObsCommands installs the observability commands the backend
+// can use over the pipe, mirroring the original Wafe's debug/echo
+// mode:
+//
+//	statistics          return every metric as a flat Tcl list
+//	                    (name value name value ...)
+//	traceOn / traceOff  echo backend command lines and fired
+//	                    callbacks/actions to the terminal
+//	metricsDump ?file?  write the JSON metrics document to a file, or
+//	                    return it as the command result
+//
+// Each command enables observability on first use, so a backend in any
+// language can opt in without restarting the frontend.
+func (w *Wafe) registerObsCommands() {
+	w.Interp.RegisterCommand("statistics", func(_ *tcl.Interp, argv []string) (string, error) {
+		if len(argv) != 1 {
+			return "", tcl.NewError("wrong # args: should be \"statistics\"")
+		}
+		m := w.EnableObservability()
+		samples := m.Snapshot()
+		flat := make([]string, 0, 2*len(samples))
+		for _, s := range samples {
+			flat = append(flat, s.Name, s.FormatValue())
+		}
+		return tcl.FormatList(flat), nil
+	})
+	w.Interp.RegisterCommand("traceOn", func(_ *tcl.Interp, argv []string) (string, error) {
+		if len(argv) != 1 {
+			return "", tcl.NewError("wrong # args: should be \"traceOn\"")
+		}
+		w.EnableObservability().Trace.SetEnabled(true)
+		return "", nil
+	})
+	w.Interp.RegisterCommand("traceOff", func(_ *tcl.Interp, argv []string) (string, error) {
+		if len(argv) != 1 {
+			return "", tcl.NewError("wrong # args: should be \"traceOff\"")
+		}
+		w.EnableObservability().Trace.SetEnabled(false)
+		return "", nil
+	})
+	w.Interp.RegisterCommand("metricsDump", func(_ *tcl.Interp, argv []string) (string, error) {
+		if len(argv) > 2 {
+			return "", tcl.NewError("wrong # args: should be \"metricsDump ?fileName?\"")
+		}
+		m := w.EnableObservability()
+		var sb strings.Builder
+		if err := m.WriteJSON(&sb); err != nil {
+			return "", tcl.NewError("metricsDump: %v", err)
+		}
+		doc := strings.TrimRight(sb.String(), "\n")
+		if len(argv) == 2 {
+			if err := os.WriteFile(argv[1], []byte(doc+"\n"), 0o644); err != nil {
+				return "", tcl.NewError("metricsDump: %v", err)
+			}
+			return "", nil
+		}
+		return doc, nil
+	})
+}

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"os"
 	"strings"
 
+	"wafe/internal/obs"
 	"wafe/internal/plotter"
 	"wafe/internal/tcl"
 	"wafe/internal/xaw"
@@ -50,6 +52,16 @@ type Wafe struct {
 	// level shell automatically created in every Wafe program".
 	TopLevel *xt.Widget
 
+	// Metrics is the observability registry, nil until
+	// EnableObservability runs (the statistics/traceOn commands enable
+	// it on demand, as do the --metrics-dump and --debug-addr flags).
+	// While nil every instrumented hot path costs one pointer check.
+	Metrics *obs.Metrics
+
+	// traceSink receives echoed trace lines; the frontend points it at
+	// the terminal so traces never land on the backend pipe.
+	traceSink func(string)
+
 	cfg Config
 
 	// classes maps creation-command name → widget class.
@@ -91,6 +103,7 @@ func New(cfg Config) (*Wafe, error) {
 	w.registerWidgetSet()
 	w.registerCommands()
 	w.registerRddCommands()
+	w.registerObsCommands()
 	w.registerActions()
 	top, err := app.CreateWidget("topLevel", xt.ApplicationShellClass, nil, nil, false)
 	if err != nil {
@@ -107,6 +120,36 @@ func NewTest() *Wafe {
 		panic(err)
 	}
 	return w
+}
+
+// SetTraceSink directs echoed trace lines to fn (the frontend passes
+// its terminal). Applies immediately when observability is already
+// enabled.
+func (w *Wafe) SetTraceSink(fn func(string)) {
+	w.traceSink = fn
+	if w.Metrics != nil {
+		w.Metrics.Trace.SetSink(fn)
+	}
+}
+
+// EnableObservability creates the metrics registry (idempotently) and
+// threads it through every layer: interpreter, event loop, and the
+// protocol displays. It returns the registry.
+func (w *Wafe) EnableObservability() *obs.Metrics {
+	if w.Metrics != nil {
+		return w.Metrics
+	}
+	m := obs.New()
+	w.Metrics = m
+	w.Interp.SetObs(&m.Tcl)
+	w.App.SetObs(&m.Xt)
+	w.App.SetDisplayObs(&m.Xproto)
+	sink := w.traceSink
+	if sink == nil {
+		sink = func(line string) { fmt.Fprintln(os.Stdout, line) }
+	}
+	m.Trace.SetSink(sink)
+	return m
 }
 
 // QuitRequested reports whether the quit command ran.
@@ -303,9 +346,12 @@ func (w *Wafe) scriptCallback(script string) xt.Callback {
 		Proc: func(widget *xt.Widget, data xt.CallData) {
 			var err error
 			if s := ps.Compiled(); s != nil {
+				w.traceFired("callback", widget, s.Source)
 				_, err = w.EvalScript(s)
 			} else {
-				_, err = w.Eval(ps.ExpandCallback(widget, data))
+				expanded := ps.ExpandCallback(widget, data)
+				w.traceFired("callback", widget, expanded)
+				_, err = w.Eval(expanded)
 			}
 			if err != nil {
 				w.reportScriptError("callback", widget, err)
@@ -347,12 +393,29 @@ func (w *Wafe) registerActions() {
 		}
 		var err error
 		if s := ps.Compiled(); s != nil {
+			w.traceFired("action", widget, s.Source)
 			_, err = w.EvalScript(s)
 		} else {
-			_, err = w.Eval(ps.ExpandAction(widget, ev))
+			expanded := ps.ExpandAction(widget, ev)
+			w.traceFired("action", widget, expanded)
+			_, err = w.Eval(expanded)
 		}
 		if err != nil {
 			w.reportScriptError("action", widget, err)
 		}
 	})
+}
+
+// traceFired records a fired callback/action script when tracing is
+// on; the text is only assembled in that case.
+func (w *Wafe) traceFired(kind string, widget *xt.Widget, script string) {
+	m := w.Metrics
+	if m == nil || !m.Trace.Enabled() {
+		return
+	}
+	name := "?"
+	if widget != nil {
+		name = widget.Name
+	}
+	m.Trace.Emit(kind, name+": "+script)
 }

@@ -68,6 +68,15 @@ type Options struct {
 	// file, which is evaluated at startup time").
 	ResourceFile string
 
+	// MetricsDump, when non-empty, enables observability and writes
+	// the JSON metrics document to the named file at exit ("-" writes
+	// to standard error).
+	MetricsDump string
+
+	// DebugAddr, when non-empty, enables observability and serves the
+	// expvar/pprof/metrics debug endpoint on the address.
+	DebugAddr string
+
 	// ShowVersion prints the version banner and exits.
 	ShowVersion bool
 }
@@ -148,6 +157,18 @@ func ParseArgs(argv0 string, args []string) (*Options, error) {
 				}
 				i++
 				o.ResourceFile = args[i]
+			case "--metrics-dump":
+				if i+1 >= len(args) {
+					return nil, fmt.Errorf("wafe: --metrics-dump requires a file name (or -)")
+				}
+				i++
+				o.MetricsDump = args[i]
+			case "--debug-addr":
+				if i+1 >= len(args) {
+					return nil, fmt.Errorf("wafe: --debug-addr requires a listen address")
+				}
+				i++
+				o.DebugAddr = args[i]
 			default:
 				return nil, fmt.Errorf("wafe: unknown frontend option %q", a)
 			}

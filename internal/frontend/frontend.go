@@ -6,8 +6,10 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"time"
 
 	"wafe/internal/core"
+	"wafe/internal/obs"
 	"wafe/internal/tcl"
 )
 
@@ -35,10 +37,15 @@ type Frontend struct {
 	massBuf    []byte
 	massFD     int
 
-	// stats for tests and benchmarks.
+	// stats for tests and benchmarks. The same counts feed the
+	// observability registry (frontend.* metrics) once it is enabled.
 	CommandLines  int
 	PassedLines   int
 	OverlongLines int
+	// EvalErrors counts command lines whose evaluation failed; the
+	// failure itself is reported on the terminal only, so the counter
+	// is the backend-visible signal (statistics, metrics dump).
+	EvalErrors int
 }
 
 // New wires a Frontend around a Wafe instance.
@@ -53,6 +60,10 @@ func New(w *core.Wafe, opts *Options, terminal io.Writer) *Frontend {
 		opts.LineLimit = DefaultLineLimit
 	}
 	f := &Frontend{W: w, Opts: opts, Terminal: terminal, massFD: 3}
+	// Trace lines echo to the terminal, never onto the backend pipe,
+	// mirroring the original debug mode ("other lines ... are printed
+	// by Wafe to stdout").
+	w.SetTraceSink(func(line string) { fmt.Fprintln(f.Terminal, line) })
 	f.registerCommands()
 	return f
 }
@@ -74,7 +85,11 @@ func (f *Frontend) registerCommands() {
 		f.massVar = argv[1]
 		f.massLimit = n
 		f.massAction = argv[3]
-		f.massBuf = f.massBuf[:0]
+		// Bytes may already be buffered: the data channel and the
+		// command pipe are independent inputs, so the payload can race
+		// ahead of the arming command. Buffered bytes count toward the
+		// transfer being armed (they are not discarded).
+		f.drainMass()
 		return "", nil
 	})
 }
@@ -113,21 +128,55 @@ func (f *Frontend) AttachApp(appOut io.Reader, appIn io.Writer) {
 
 // HandleAppLine processes one output line from the application program:
 // prefix lines are interpreted as Wafe commands, everything else passes
-// through to the terminal.
+// through to the terminal. With observability enabled, each line's
+// class and handling latency are recorded, and traceOn echoes command
+// lines to the terminal.
 func (f *Frontend) HandleAppLine(line string) {
+	m := f.W.Metrics
+	if m == nil {
+		f.handleAppLine(line, nil)
+		return
+	}
+	start := time.Now()
+	f.handleAppLine(line, m)
+	m.Frontend.LineLatency.Observe(time.Since(start))
+}
+
+func (f *Frontend) handleAppLine(line string, m *obs.Metrics) {
 	if len(line) > f.Opts.LineLimit {
 		f.OverlongLines++
+		if m != nil {
+			m.Frontend.OverlongLines.Inc()
+		}
 		fmt.Fprintf(f.Terminal, "wafe: command line exceeds %d bytes (%d), ignored\n", f.Opts.LineLimit, len(line))
 		return
 	}
 	if len(line) > 0 && line[0] == f.Opts.Prefix {
 		f.CommandLines++
+		if m != nil {
+			m.Frontend.CommandLines.Inc()
+			if m.Trace.Enabled() {
+				m.Trace.Emit("cmd", line)
+			}
+		}
 		if _, err := f.W.Eval(line[1:]); err != nil {
+			f.EvalErrors++
+			// The statistics/traceOn commands enable observability
+			// mid-line; re-read so the very first failure still counts.
+			if m == nil {
+				m = f.W.Metrics
+			}
+			if m != nil {
+				m.Frontend.EvalErrors.Inc()
+			}
 			fmt.Fprintf(f.Terminal, "wafe: error in command %.60q: %v\n", line, err)
 		}
 		return
 	}
 	f.PassedLines++
+	if m != nil {
+		m.Frontend.PassedLines.Inc()
+	}
 	fmt.Fprintln(f.Terminal, line)
 }
 
@@ -179,6 +228,10 @@ func (f *Frontend) drainMass() {
 			if _, err := f.W.Eval(f.massAction); err != nil {
 				fmt.Fprintf(f.Terminal, "wafe: mass transfer action: %v\n", err)
 			}
+		}
+		if m := f.W.Metrics; m != nil {
+			m.Frontend.MassTransfers.Inc()
+			m.Frontend.MassBytes.Add(int64(f.massLimit))
 		}
 	}
 }
@@ -254,18 +307,34 @@ func (f *Frontend) RunInteractive(r io.Reader, prompt func()) error {
 }
 
 // balanced reports whether braces/brackets balance outside of
-// backslash escapes (good enough for interactive continuation).
+// backslash escapes and double-quoted strings (good enough for
+// interactive continuation). Quotes are only significant at brace
+// depth zero — inside braces a `"` is an ordinary character, as in
+// Tcl. A closer with no matching opener can never balance by reading
+// more input, so negative depth is terminal: the line is handed to
+// the evaluator, which reports the parse error.
 func balanced(s string) bool {
 	depth := 0
+	inQuote := false
 	for i := 0; i < len(s); i++ {
-		switch s[i] {
-		case '\\':
+		c := s[i]
+		switch {
+		case c == '\\':
 			i++
-		case '{', '[':
+		case inQuote:
+			if c == '"' {
+				inQuote = false
+			}
+		case c == '"' && depth == 0:
+			inQuote = true
+		case c == '{' || c == '[':
 			depth++
-		case '}', ']':
+		case c == '}' || c == ']':
 			depth--
+			if depth < 0 {
+				return true
+			}
 		}
 	}
-	return depth <= 0
+	return depth == 0 && !inQuote
 }

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// published is the metrics instance the expvar variable reads; expvar
+// names are process-global and can be registered only once, so the
+// variable indirects through this slot.
+var (
+	publishMu   sync.Mutex
+	published   *Metrics
+	publishOnce sync.Once
+)
+
+func publish(m *Metrics) {
+	publishMu.Lock()
+	published = m
+	publishMu.Unlock()
+	publishOnce.Do(func() {
+		expvar.Publish("wafe", expvar.Func(func() any {
+			publishMu.Lock()
+			cur := published
+			publishMu.Unlock()
+			if cur == nil {
+				return nil
+			}
+			out := make(map[string]int64)
+			for _, s := range cur.Snapshot() {
+				out[s.Name] = s.Value
+			}
+			return out
+		}))
+	})
+}
+
+// ServeDebug exposes m on addr: /debug/vars (expvar, including the
+// "wafe" metrics map), the /debug/pprof profiling endpoints, and
+// /metrics (the JSON dump). It returns the bound listener so callers
+// can report the actual address (addr may use port 0) and close it;
+// the HTTP server runs until the listener closes.
+func ServeDebug(addr string, m *Metrics) (net.Listener, error) {
+	publish(m)
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = m.WriteJSON(w)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}

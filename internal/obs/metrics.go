@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// TclMetrics instruments the interpreter: top-level eval latency,
+// per-command dispatch counts, and the PR 1 intern caches.
+type TclMetrics struct {
+	Evals             Counter
+	EvalLatency       Histogram
+	ScriptCacheHits   Counter
+	ScriptCacheMisses Counter
+	ExprCacheHits     Counter
+	ExprCacheMisses   Counter
+	Dispatch          CounterVec // per command name
+}
+
+// XtMetrics instruments the event loop: dispatch latency, queue
+// depths, and callback/action firings.
+type XtMetrics struct {
+	EventsDispatched Counter
+	DispatchLatency  Histogram
+	EventQueueDepth  Gauge // X event queue observed in Pump
+	PostedQueueDepth Gauge // posted-closure channel observed in Post
+	CallbacksFired   Counter
+	ActionsFired     Counter
+}
+
+// XprotoMetrics counts protocol requests per operation (draw requests,
+// window operations) and queued events.
+type XprotoMetrics struct {
+	Requests     CounterVec // per op name
+	EventsQueued Counter
+}
+
+// FrontendMetrics accounts the pipe protocol: line classes, per-line
+// handling latency, eval failures and mass-channel throughput.
+type FrontendMetrics struct {
+	CommandLines  Counter
+	PassedLines   Counter
+	OverlongLines Counter
+	EvalErrors    Counter
+	LineLatency   Histogram
+	MassTransfers Counter
+	MassBytes     Counter
+}
+
+// Metrics is the aggregate registry one Wafe instance threads through
+// its layers. Layers hold pointers to their sub-struct; a nil pointer
+// (observability disabled) keeps every instrumented path zero-cost.
+type Metrics struct {
+	Tcl      TclMetrics
+	Xt       XtMetrics
+	Xproto   XprotoMetrics
+	Frontend FrontendMetrics
+	Trace    Trace
+}
+
+// New returns an empty metrics registry.
+func New() *Metrics { return &Metrics{} }
+
+// Sample is one named metric value in a snapshot.
+type Sample struct {
+	Name  string
+	Value int64
+}
+
+func histSamples(prefix string, h *Histogram, out []Sample) []Sample {
+	return append(out,
+		Sample{prefix + ".count", h.Count()},
+		Sample{prefix + ".mean_ns", h.Mean()},
+		Sample{prefix + ".p50_ns", h.Quantile(0.50)},
+		Sample{prefix + ".p99_ns", h.Quantile(0.99)},
+		Sample{prefix + ".max_ns", h.Max()},
+	)
+}
+
+func vecSamples(prefix string, v *CounterVec, out []Sample) []Sample {
+	snap := v.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, Sample{prefix + "." + k, snap[k]})
+	}
+	return out
+}
+
+// Snapshot returns every metric as an ordered name/value list — the
+// statistics command renders it as a Tcl list, the JSON dump as an
+// object. Grouped per layer; names are stable and documented in
+// docs/protocol.md.
+func (m *Metrics) Snapshot() []Sample {
+	var out []Sample
+	t := &m.Tcl
+	out = append(out,
+		Sample{"tcl.evals", t.Evals.Load()},
+		Sample{"tcl.script_cache.hits", t.ScriptCacheHits.Load()},
+		Sample{"tcl.script_cache.misses", t.ScriptCacheMisses.Load()},
+		Sample{"tcl.expr_cache.hits", t.ExprCacheHits.Load()},
+		Sample{"tcl.expr_cache.misses", t.ExprCacheMisses.Load()},
+	)
+	out = histSamples("tcl.eval_latency", &t.EvalLatency, out)
+	out = vecSamples("tcl.dispatch", &t.Dispatch, out)
+
+	x := &m.Xt
+	out = append(out,
+		Sample{"xt.events_dispatched", x.EventsDispatched.Load()},
+		Sample{"xt.event_queue_depth", x.EventQueueDepth.Load()},
+		Sample{"xt.event_queue_depth_max", x.EventQueueDepth.Max()},
+		Sample{"xt.posted_queue_depth_max", x.PostedQueueDepth.Max()},
+		Sample{"xt.callbacks_fired", x.CallbacksFired.Load()},
+		Sample{"xt.actions_fired", x.ActionsFired.Load()},
+	)
+	out = histSamples("xt.dispatch_latency", &x.DispatchLatency, out)
+
+	p := &m.Xproto
+	out = append(out, Sample{"xproto.events_queued", p.EventsQueued.Load()})
+	out = vecSamples("xproto.requests", &p.Requests, out)
+
+	f := &m.Frontend
+	out = append(out,
+		Sample{"frontend.command_lines", f.CommandLines.Load()},
+		Sample{"frontend.passed_lines", f.PassedLines.Load()},
+		Sample{"frontend.overlong_lines", f.OverlongLines.Load()},
+		Sample{"frontend.eval_errors", f.EvalErrors.Load()},
+		Sample{"frontend.mass_transfers", f.MassTransfers.Load()},
+		Sample{"frontend.mass_bytes", f.MassBytes.Load()},
+	)
+	out = histSamples("frontend.line_latency", &f.LineLatency, out)
+	return out
+}
+
+// Get returns the snapshot value for a metric name (tests).
+func (m *Metrics) Get(name string) (int64, bool) {
+	for _, s := range m.Snapshot() {
+		if s.Name == name {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// jsonDump is the --metrics-dump / metricsDump document shape.
+type jsonDump struct {
+	Metrics map[string]int64 `json:"metrics"`
+	Trace   []TraceEvent     `json:"trace,omitempty"`
+}
+
+// WriteJSON writes the snapshot (plus the recent trace ring) as a
+// single-line JSON object, so `echo [metricsDump]` stays one protocol
+// line.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	d := jsonDump{Metrics: make(map[string]int64)}
+	for _, s := range m.Snapshot() {
+		d.Metrics[s.Name] = s.Value
+	}
+	d.Trace = m.Trace.Events()
+	enc := json.NewEncoder(w)
+	return enc.Encode(d)
+}
+
+// FormatValue renders a sample value for the statistics Tcl list.
+func (s Sample) FormatValue() string { return strconv.FormatInt(s.Value, 10) }

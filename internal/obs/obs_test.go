@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Errorf("counter = %d", c.Load())
+	}
+	var g Gauge
+	g.Observe(7)
+	g.Observe(3)
+	if g.Load() != 3 || g.Max() != 7 {
+		t.Errorf("gauge = %d max %d", g.Load(), g.Max())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{100, 200, 400, 100_000, 5 * time.Second} {
+		h.Observe(d)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != int64(5*time.Second) {
+		t.Errorf("max = %d", h.Max())
+	}
+	want := int64(100 + 200 + 400 + 100_000 + 5*time.Second)
+	if h.Sum() != want {
+		t.Errorf("sum = %d, want %d", h.Sum(), want)
+	}
+	if h.Mean() != want/5 {
+		t.Errorf("mean = %d", h.Mean())
+	}
+	// The p50 (3rd of 5 observations, 400ns) falls in the bucket
+	// bounded by 512ns.
+	if q := h.Quantile(0.5); q != 512 {
+		t.Errorf("p50 = %d", q)
+	}
+	// The top quantile lands in the overflow bucket → observed max.
+	if q := h.Quantile(0.99); q != int64(5*time.Second) {
+		t.Errorf("p99 = %d", q)
+	}
+	var total int64
+	for _, b := range h.Buckets() {
+		total += b
+	}
+	if total != 5 {
+		t.Errorf("bucket total = %d", total)
+	}
+	if BucketBound(0) != histBase || BucketBound(histBuckets-1) != -1 {
+		t.Errorf("bucket bounds wrong")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	if h.Count() != 1 || h.Sum() != 0 {
+		t.Errorf("negative observation: count=%d sum=%d", h.Count(), h.Sum())
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	var v CounterVec
+	v.Inc("echo")
+	v.Inc("echo")
+	v.Inc("realize")
+	if v.Get("echo") != 2 || v.Get("realize") != 1 || v.Get("missing") != 0 {
+		t.Errorf("snapshot = %v", v.Snapshot())
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Push(TraceEvent{Seq: uint64(i)})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.Seq != want {
+			t.Errorf("event %d seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestTraceGatingAndSink(t *testing.T) {
+	var tr Trace
+	var lines []string
+	tr.SetSink(func(s string) { lines = append(lines, s) })
+	tr.Emit("cmd", "ignored while disabled")
+	if len(tr.Events()) != 0 || len(lines) != 0 {
+		t.Fatal("disabled trace recorded")
+	}
+	tr.SetEnabled(true)
+	tr.Emit("cmd", "%echo hi")
+	tr.SetEnabled(false)
+	tr.Emit("cmd", "off again")
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].Kind != "cmd" || evs[0].Text != "%echo hi" {
+		t.Fatalf("events = %+v", evs)
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "wafe: trace cmd: %echo hi") {
+		t.Fatalf("sink = %q", lines)
+	}
+}
+
+func TestMetricsSnapshotAndJSON(t *testing.T) {
+	m := New()
+	m.Tcl.Evals.Add(3)
+	m.Tcl.ScriptCacheHits.Add(2)
+	m.Tcl.Dispatch.Inc("echo")
+	m.Xt.DispatchLatency.Observe(time.Millisecond)
+	m.Frontend.MassBytes.Add(4096)
+	m.Xproto.Requests.Inc("DrawString")
+	if v, ok := m.Get("tcl.evals"); !ok || v != 3 {
+		t.Errorf("tcl.evals = %d, %v", v, ok)
+	}
+	if v, ok := m.Get("tcl.dispatch.echo"); !ok || v != 1 {
+		t.Errorf("tcl.dispatch.echo = %d, %v", v, ok)
+	}
+	if v, ok := m.Get("xt.dispatch_latency.count"); !ok || v != 1 {
+		t.Errorf("dispatch latency count = %d, %v", v, ok)
+	}
+	m.Trace.SetEnabled(true)
+	m.Trace.Emit("cmd", "line")
+	var sb strings.Builder
+	if err := m.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(strings.TrimSpace(out), "\n") != 0 {
+		t.Errorf("dump is not single-line: %q", out)
+	}
+	var doc struct {
+		Metrics map[string]int64 `json:"metrics"`
+		Trace   []TraceEvent     `json:"trace"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("dump not valid JSON: %v", err)
+	}
+	if doc.Metrics["frontend.mass_bytes"] != 4096 || doc.Metrics["xproto.requests.DrawString"] != 1 {
+		t.Errorf("dump metrics = %v", doc.Metrics)
+	}
+	if len(doc.Trace) != 1 || doc.Trace[0].Text != "line" {
+		t.Errorf("dump trace = %v", doc.Trace)
+	}
+}
+
+func TestConcurrentWritersAndSnapshot(t *testing.T) {
+	m := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Tcl.Evals.Inc()
+				m.Tcl.Dispatch.Inc(fmt.Sprintf("cmd%d", g%2))
+				m.Xt.DispatchLatency.Observe(time.Duration(i))
+				m.Xt.EventQueueDepth.Observe(int64(i))
+			}
+		}(g)
+	}
+	for i := 0; i < 100; i++ {
+		_ = m.Snapshot()
+	}
+	wg.Wait()
+	if m.Tcl.Evals.Load() != 4000 {
+		t.Errorf("evals = %d", m.Tcl.Evals.Load())
+	}
+	if m.Xt.DispatchLatency.Count() != 4000 {
+		t.Errorf("latency count = %d", m.Xt.DispatchLatency.Count())
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	m := New()
+	m.Tcl.Evals.Add(9)
+	ln, err := ServeDebug("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	base := "http://" + ln.Addr().String()
+	get := func(path string) string {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(b)
+	}
+	if body := get("/metrics"); !strings.Contains(body, `"tcl.evals":9`) {
+		t.Errorf("/metrics = %q", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, `"wafe"`) {
+		t.Errorf("/debug/vars misses wafe var")
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %.100q", body)
+	}
+}

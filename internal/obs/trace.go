@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceEvent is one recorded trace entry: a backend command line, a
+// fired callback/action, or any other annotated happening.
+type TraceEvent struct {
+	Seq  uint64    `json:"seq"`
+	Time time.Time `json:"time"`
+	Kind string    `json:"kind"` // "cmd", "callback", "action", ...
+	Text string    `json:"text"`
+}
+
+// Ring is a bounded ring buffer of trace events. Writers never block
+// and never allocate beyond the fixed backing array; old events are
+// overwritten.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []TraceEvent
+	next int
+	full bool
+}
+
+// NewRing returns a ring holding the last n events (n <= 0 picks a
+// default of 256).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = 256
+	}
+	return &Ring{buf: make([]TraceEvent, n)}
+}
+
+// Push appends an event, overwriting the oldest once full.
+func (r *Ring) Push(ev TraceEvent) {
+	r.mu.Lock()
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of events currently held.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Events returns the held events, oldest first.
+func (r *Ring) Events() []TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		out := make([]TraceEvent, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]TraceEvent, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Trace is the tracing half of the observability layer: a ring of
+// recent events plus an optional echo sink (the terminal, in frontend
+// mode), mirroring the original Wafe's debug/echo mode. Recording is
+// gated by an atomic flag so a disabled tracer costs one atomic load.
+type Trace struct {
+	enabled atomic.Bool
+	seq     atomic.Uint64
+
+	mu   sync.Mutex
+	sink func(line string)
+	ring *Ring
+}
+
+// Enabled reports whether tracing is on.
+func (t *Trace) Enabled() bool { return t.enabled.Load() }
+
+// SetEnabled turns tracing on or off (the traceOn/traceOff commands).
+func (t *Trace) SetEnabled(on bool) { t.enabled.Store(on) }
+
+// SetSink directs echoed trace lines to fn (nil silences the echo;
+// the ring keeps recording).
+func (t *Trace) SetSink(fn func(line string)) {
+	t.mu.Lock()
+	t.sink = fn
+	t.mu.Unlock()
+}
+
+// Emit records one trace event and echoes it to the sink as
+//
+//	wafe: trace <kind>: <text>
+//
+// It is a no-op unless tracing is enabled; callers on hot paths should
+// still guard with Enabled() to avoid building the text.
+func (t *Trace) Emit(kind, text string) {
+	if !t.enabled.Load() {
+		return
+	}
+	ev := TraceEvent{Seq: t.seq.Add(1), Time: time.Now(), Kind: kind, Text: text}
+	t.mu.Lock()
+	if t.ring == nil {
+		t.ring = NewRing(0)
+	}
+	t.ring.Push(ev)
+	sink := t.sink
+	t.mu.Unlock()
+	if sink != nil {
+		sink(fmt.Sprintf("wafe: trace %s: %s", kind, text))
+	}
+}
+
+// Events returns the recorded trace events, oldest first.
+func (t *Trace) Events() []TraceEvent {
+	t.mu.Lock()
+	ring := t.ring
+	t.mu.Unlock()
+	if ring == nil {
+		return nil
+	}
+	return ring.Events()
+}

@@ -639,7 +639,13 @@ func (in *Interp) compileExprCached(s string) exprNode {
 		return n
 	}
 	if v, ok := in.exprCache.get(s); ok {
+		if m := in.obs; m != nil {
+			m.ExprCacheHits.Inc()
+		}
 		return v.(*compiledExpr).node
+	}
+	if m := in.obs; m != nil {
+		m.ExprCacheMisses.Inc()
 	}
 	n, err := compileExprAST(s)
 	if err != nil {

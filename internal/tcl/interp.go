@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"wafe/internal/obs"
 )
 
 // Code is a Tcl completion code. Values match Tcl's catch numbering.
@@ -147,7 +149,15 @@ type Interp struct {
 	scriptCache *lruCache
 	// exprCache interns compiled expression ASTs by source string.
 	exprCache *lruCache
+
+	// obs, when non-nil, collects dispatch counts, eval latency and
+	// cache hit rates. Nil (the default) keeps every hot path at a
+	// single pointer comparison.
+	obs *obs.TclMetrics
 }
+
+// SetObs attaches (or, with nil, detaches) the observability metrics.
+func (in *Interp) SetObs(m *obs.TclMetrics) { in.obs = m }
 
 // New creates an interpreter with the standard command set registered.
 func New() *Interp {
@@ -390,6 +400,9 @@ func (in *Interp) EvalWords(argv []string) (string, error) {
 
 func (in *Interp) invoke(argv []string) (string, error) {
 	name := argv[0]
+	if m := in.obs; m != nil {
+		m.Dispatch.Inc(name)
+	}
 	if fn, ok := in.commands[name]; ok {
 		return fn(in, argv)
 	}

@@ -1,6 +1,9 @@
 package tcl
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // This file adds the Tcl 7→8 style "compile once, evaluate many"
 // pipeline. A Script is the parser's command/word/token list, produced
@@ -210,7 +213,13 @@ func (in *Interp) compileCached(src string) *Script {
 		return compileScript(src)
 	}
 	if v, ok := in.scriptCache.get(src); ok {
+		if m := in.obs; m != nil {
+			m.ScriptCacheHits.Inc()
+		}
 		return v.(*Script)
+	}
+	if m := in.obs; m != nil {
+		m.ScriptCacheMisses.Inc()
 	}
 	s := compileScript(src)
 	in.scriptCache.put(src, s)
@@ -219,8 +228,21 @@ func (in *Interp) compileCached(src string) *Script {
 
 // EvalScript evaluates a compiled script and returns the result of its
 // last command. The completion-code and traceback behavior is
-// identical to Eval on the script's source.
+// identical to Eval on the script's source. Top-level evaluations
+// (not nested [command] substitutions or loop bodies) are counted and
+// timed when observability is attached.
 func (in *Interp) EvalScript(s *Script) (string, error) {
+	if m := in.obs; m != nil && in.nesting == 0 {
+		start := time.Now()
+		res, err := in.evalScript(s)
+		m.Evals.Inc()
+		m.EvalLatency.Observe(time.Since(start))
+		return res, err
+	}
+	return in.evalScript(s)
+}
+
+func (in *Interp) evalScript(s *Script) (string, error) {
 	if s == nil {
 		return "", nil
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"wafe/internal/obs"
 )
 
 // Display is one headless X display (server + screen). A Display is not
@@ -48,8 +50,16 @@ type Display struct {
 	// snapshots and assertions.
 	drawLog map[WindowID][]DrawOp
 
+	// obs, when non-nil, counts protocol requests per operation and
+	// queued events. Nil (the default) keeps request paths at a single
+	// pointer comparison.
+	obs *obs.XprotoMetrics
+
 	closed bool
 }
+
+// SetObs attaches (or, with nil, detaches) the observability metrics.
+func (d *Display) SetObs(m *obs.XprotoMetrics) { d.obs = m }
 
 // registry of open displays, keyed by display name, emulating multiple
 // X servers ("applicationShell top2 dec4:0" opens a second display).
@@ -141,6 +151,9 @@ func (d *Display) BlackPixel() Pixel { return Pixel{} }
 func (d *Display) Keymap() *Keymap { return d.keymap }
 
 func (d *Display) enqueue(ev Event) {
+	if m := d.obs; m != nil {
+		m.EventsQueued.Inc()
+	}
 	d.serial++
 	ev.Serial = d.serial
 	d.queue = append(d.queue, ev)

@@ -53,7 +53,32 @@ type DrawOp struct {
 	PixmapName string
 }
 
+// String names the rendering primitive after its X request
+// (metrics labels, debugging).
+func (k DrawOpKind) String() string {
+	switch k {
+	case OpFillRect:
+		return "FillRectangle"
+	case OpDrawRect:
+		return "DrawRectangle"
+	case OpDrawLine:
+		return "DrawLine"
+	case OpDrawString:
+		return "DrawString"
+	case OpClear:
+		return "ClearArea"
+	case OpDrawPoint:
+		return "DrawPoint"
+	case OpCopyPixmap:
+		return "CopyArea"
+	}
+	return "Unknown"
+}
+
 func (d *Display) record(win WindowID, op DrawOp) {
+	if m := d.obs; m != nil {
+		m.Requests.Inc(op.Kind.String())
+	}
 	d.drawLog[win] = append(d.drawLog[win], op)
 }
 

@@ -74,6 +74,9 @@ func (d *Display) CreateWindow(parent WindowID, x, y, width, height, borderWidth
 	if height <= 0 {
 		height = 1
 	}
+	if m := d.obs; m != nil {
+		m.Requests.Inc("CreateWindow")
+	}
 	id := d.nextID
 	d.nextID++
 	w := &Window{
@@ -98,6 +101,9 @@ func (d *Display) DestroyWindow(id WindowID) {
 	w, ok := d.windows[id]
 	if !ok || id == d.Root {
 		return
+	}
+	if m := d.obs; m != nil {
+		m.Requests.Inc("DestroyWindow")
 	}
 	for _, c := range append([]WindowID(nil), w.Children...) {
 		d.DestroyWindow(c)
@@ -139,6 +145,9 @@ func (d *Display) MapWindow(id WindowID) {
 	if !ok || w.Mapped {
 		return
 	}
+	if m := d.obs; m != nil {
+		m.Requests.Inc("MapWindow")
+	}
 	w.Mapped = true
 	if w.EventMask&StructureNotifyMask != 0 {
 		d.enqueue(Event{Type: MapNotify, Window: id})
@@ -166,6 +175,9 @@ func (d *Display) UnmapWindow(id WindowID) {
 	w, ok := d.windows[id]
 	if !ok || !w.Mapped {
 		return
+	}
+	if m := d.obs; m != nil {
+		m.Requests.Inc("UnmapWindow")
 	}
 	w.Mapped = false
 	if w.EventMask&StructureNotifyMask != 0 {

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"wafe/internal/obs"
 	"wafe/internal/xproto"
 )
 
@@ -60,6 +62,29 @@ type App struct {
 	ErrorHandler func(error)
 	errorsMu     sync.Mutex
 	errors       []error
+
+	// obs, when non-nil, collects event-dispatch latency, queue depths
+	// and callback/action firings. Nil (the default) keeps the
+	// dispatch paths at a single atomic pointer load. Atomic because
+	// Post is called from input-reader goroutines while observability
+	// may be enabled on the loop goroutine mid-session.
+	obs atomic.Pointer[obs.XtMetrics]
+	// displayObs is handed to every display attached to the app, so
+	// displays opened after observability is enabled are instrumented
+	// too.
+	displayObs atomic.Pointer[obs.XprotoMetrics]
+}
+
+// SetObs attaches (or, with nil, detaches) the observability metrics.
+func (app *App) SetObs(m *obs.XtMetrics) { app.obs.Store(m) }
+
+// SetDisplayObs attaches protocol-request metrics to every display of
+// the app, current and future.
+func (app *App) SetDisplayObs(m *obs.XprotoMetrics) {
+	app.displayObs.Store(m)
+	for _, d := range app.displays {
+		d.SetObs(m)
+	}
 }
 
 // NewApp creates an application context bound to the named display
@@ -116,6 +141,9 @@ func (app *App) OpenSecondDisplay(name string) *xproto.Display {
 		if have == d {
 			return d
 		}
+	}
+	if m := app.displayObs.Load(); m != nil {
+		d.SetObs(m)
 	}
 	app.displays = append(app.displays, d)
 	return d
@@ -187,7 +215,19 @@ func (app *App) LookupAction(w *Widget, name string) ActionProc {
 
 // DispatchEvent routes one X event to its widget (XtDispatchEvent):
 // Expose redraws, input events run through the translation table.
+// With observability attached, each dispatch is counted and timed.
 func (app *App) DispatchEvent(d *xproto.Display, ev xproto.Event) {
+	if m := app.obs.Load(); m != nil {
+		start := time.Now()
+		app.dispatchEvent(d, ev)
+		m.EventsDispatched.Inc()
+		m.DispatchLatency.Observe(time.Since(start))
+		return
+	}
+	app.dispatchEvent(d, ev)
+}
+
+func (app *App) dispatchEvent(d *xproto.Display, ev xproto.Event) {
 	w := app.byWindow[windowKey{d, ev.Window}]
 	if w == nil || w.beingDestroyed {
 		return
@@ -214,6 +254,9 @@ func (app *App) DispatchEvent(d *xproto.Display, ev xproto.Event) {
 			app.raise(fmt.Errorf("xt: widget %q: unbound action %q", recv.Name, call.Name))
 			continue
 		}
+		if m := app.obs.Load(); m != nil {
+			m.ActionsFired.Inc()
+		}
 		app.dispatchedCall = call
 		proc(recv, &ev, call.Params)
 		app.dispatchedCall = nil
@@ -232,6 +275,9 @@ func (app *App) Pump() {
 	for rounds := 0; rounds < 1000; rounds++ {
 		progress := false
 		for _, d := range app.displays {
+			if m := app.obs.Load(); m != nil {
+				m.EventQueueDepth.Observe(int64(d.Pending()))
+			}
 			for {
 				ev, ok := d.NextEvent()
 				if !ok {
@@ -249,6 +295,9 @@ func (app *App) Pump() {
 
 // Post schedules fn to run on the event-loop goroutine.
 func (app *App) Post(fn func()) {
+	if m := app.obs.Load(); m != nil {
+		m.PostedQueueDepth.Observe(int64(len(app.posted)))
+	}
 	select {
 	case app.posted <- fn:
 	default:

@@ -74,6 +74,9 @@ func (w *Widget) CallCallbacks(name string, data CallData) {
 	list, _ := cur.(CallbackList)
 	for _, cb := range list {
 		if cb.Proc != nil {
+			if m := w.app.obs.Load(); m != nil {
+				m.CallbacksFired.Inc()
+			}
 			cb.Proc(w, data)
 		}
 	}

@@ -4,8 +4,17 @@
 # BENCH_eval.json at the repository root.
 #
 # Usage: scripts/bench.sh [go-test-bench-regexp]
+#        scripts/bench.sh obs [go-test-bench-regexp]
 # Environment: COUNT (default 3), BENCHTIME (default 1s),
 # BENCHTIME_F5 (default 140000x).
+#
+# The `obs` mode measures the overhead of the observability layer in
+# its disabled state (instrumentation compiled in, metrics pointers
+# nil — the default configuration, and what the benchmarks exercise
+# via core.NewTest): it re-runs the suite and joins the result against
+# the recorded BENCH_eval.json seed baseline into BENCH_obs.json with
+# a per-benchmark delta_pct. The acceptance bound is a mean delta of
+# at most 2 %.
 #
 # F5 types into an ever-growing text buffer, so its per-keystroke cost
 # depends on the iteration count N — ns/op figures are only comparable
@@ -14,6 +23,12 @@
 # baseline was recorded).
 set -e
 cd "$(dirname "$0")/.."
+
+obs_mode=
+if [ "${1:-}" = "obs" ]; then
+    obs_mode=1
+    shift
+fi
 
 pattern="${1:-.}"
 count="${COUNT:-3}"
@@ -30,6 +45,50 @@ case "$pattern" in
     out=$(printf '%s\n' "$out" | grep -v '^BenchmarkF5_PrimeFactorKeystrokes'; printf '%s\n' "$f5")
     ;;
 esac
+
+if [ -n "$obs_mode" ]; then
+    # Join this run (instrumented, observability disabled) against the
+    # seed baseline. Baseline values come from BENCH_eval.json, which
+    # was recorded before the instrumentation existed.
+    printf '%s\n' "$out" | awk '
+    FNR == NR {
+        # Parse a BENCH_eval.json line: "name": {"ns_per_op": X, ...
+        if (match($0, /^  "[^"]+"/)) {
+            name = substr($0, 4, RLENGTH - 4)
+            if (match($0, /"ns_per_op": [0-9.]+/))
+                seed[name] = substr($0, RSTART + 13, RLENGTH - 13) + 0
+        }
+        next
+    }
+    /^Benchmark/ {
+        nm = $1
+        sub(/-[0-9]+$/, "", nm)
+        ns[nm] += $3; n[nm]++
+        if (!(nm in order)) { order[nm] = ++cnt; names[cnt] = nm }
+    }
+    END {
+        printf "{\n"
+        sum = 0; matched = 0
+        for (i = 1; i <= cnt; i++) {
+            k = names[i]
+            cur = ns[k] / n[k]
+            if (k in seed && seed[k] > 0) {
+                delta = (cur - seed[k]) / seed[k] * 100
+                sum += delta; matched++
+                printf "  \"%s\": {\"disabled_ns_per_op\": %.1f, \"seed_ns_per_op\": %.1f, \"delta_pct\": %.2f},\n", \
+                    k, cur, seed[k], delta
+            } else {
+                printf "  \"%s\": {\"disabled_ns_per_op\": %.1f, \"seed_ns_per_op\": null, \"delta_pct\": null},\n", \
+                    k, cur
+            }
+        }
+        printf "  \"_mean_delta_pct\": %.2f\n}\n", (matched ? sum / matched : 0)
+        if (matched)
+            printf "obs overhead (disabled): mean delta %.2f%% over %d benchmarks\n", sum / matched, matched > "/dev/stderr"
+    }' BENCH_eval.json - > BENCH_obs.json
+    echo "wrote BENCH_obs.json"
+    exit 0
+fi
 
 printf '%s\n' "$out" | awk '
 /^Benchmark/ {

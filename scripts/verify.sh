@@ -1,6 +1,8 @@
 #!/bin/sh
 # verify.sh — the tier-1 gate plus static analysis and the race
-# detector over the packages the compiled-script pipeline touches.
+# detector over the packages where concurrency lives: the compiled-
+# script pipeline, the event loop and the pipe protocol (whose metrics
+# are written from the loop and snapshotted from anywhere).
 set -e
 cd "$(dirname "$0")/.."
 
@@ -13,7 +15,7 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/tcl/ ./internal/core/"
-go test -race ./internal/tcl/ ./internal/core/
+echo "== go test -race ./internal/tcl/ ./internal/core/ ./internal/xt/ ./internal/frontend/ ./internal/obs/"
+go test -race ./internal/tcl/ ./internal/core/ ./internal/xt/ ./internal/frontend/ ./internal/obs/
 
 echo "verify: OK"
