@@ -163,6 +163,33 @@ func BenchmarkF4_FrontendRoundTrip(b *testing.B) {
 	}
 }
 
+// BenchmarkF4_FrontendRoundTripSupervised is F4 with a live supervised
+// backend attached (cat, idle): the per-line path must not pay for
+// supervision, whose hooks only run when the command pipe ends.
+// bench.sh's supervise mode gates on the delta between this benchmark
+// and the plain F4 measured in the same run.
+func BenchmarkF4_FrontendRoundTripSupervised(b *testing.B) {
+	w := core.NewTest()
+	var sink strings.Builder
+	f := frontend.New(w, nil, &sink)
+	sup, err := f.Supervise("cat", nil, frontend.RestartPolicy{MaxRestarts: 3})
+	if err != nil {
+		b.Skipf("cannot spawn cat backend: %v", err)
+	}
+	defer func() { _ = sup.Shutdown() }()
+	replies := 0
+	w.Interp.Stdout = func(string) { replies++ }
+	f.HandleAppLine("%label l topLevel")
+	f.HandleAppLine("%realize")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.HandleAppLine("%echo [gV l label]")
+	}
+	if replies < b.N {
+		b.Fatalf("replies = %d", replies)
+	}
+}
+
 // BenchmarkF5_PrimeFactorKeystrokes measures the paper's demo loop:
 // type a digit + Return, dispatch through translations, forward the
 // input line.

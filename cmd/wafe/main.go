@@ -144,14 +144,20 @@ func run(args []string) int {
 		return w.App.MainLoop()
 
 	case frontend.ModeFrontend:
-		child, err := f.Spawn(opts.AppProgram, opts.AppArgs)
+		// Always run the backend under supervision: even with
+		// --respawn 0 (the default, classic quit-on-exit behavior) the
+		// supervisor provides exit classification for the `backend`
+		// command and the graceful shutdown escalation.
+		sup, err := f.Supervise(opts.AppProgram, opts.AppArgs, frontend.RestartPolicy{
+			MaxRestarts: opts.Respawn,
+			Grace:       opts.BackendGrace,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}
 		code := w.App.MainLoop()
-		child.Kill()
-		_ = child.Wait()
+		_ = sup.Shutdown()
 		return code
 	}
 	return 0

@@ -98,6 +98,7 @@ func (w *Wafe) registerCommands() {
 	// --- Wafe specifics ---
 	reg("quit", w.cmdQuit)
 	reg("sync", w.cmdSync)
+	reg("backend", w.cmdBackend)
 
 	// --- headless event synthesis (this reproduction's stand-in for a
 	// human at the display; documented in README) ---
@@ -1069,6 +1070,20 @@ func (w *Wafe) cmdQuit(argv []string) (string, error) {
 func (w *Wafe) cmdSync(argv []string) (string, error) {
 	w.App.Pump()
 	return "", nil
+}
+
+// cmdBackend reports the backend lifecycle state as a flat Tcl list
+// (state running pid 1234 restarts 2 ...); `state none` when no
+// backend is under supervision — interactive and file mode, or a
+// frontend wired without the Supervisor.
+func (w *Wafe) cmdBackend(argv []string) (string, error) {
+	if len(argv) != 1 {
+		return "", tcl.NewError("wrong # args: should be \"backend\"")
+	}
+	if w.BackendReport == nil {
+		return tcl.FormatList([]string{"state", "none"}), nil
+	}
+	return tcl.FormatList(w.BackendReport()), nil
 }
 
 func (w *Wafe) cmdWidgetList(argv []string) (string, error) {

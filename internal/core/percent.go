@@ -133,6 +133,46 @@ func expandActionCode(b *strings.Builder, code byte, w *xt.Widget, ev *xproto.Ev
 	}
 }
 
+// ExpandBackendPercent substitutes the backend lifecycle percent codes
+// into an onBackendExit / onBackendRestart script. The code→value map
+// comes from the frontend's supervisor:
+//
+//	%p pid   %n restart count   %r exit class   %x exit status
+//	%u uptime (ms)
+//
+// Codes not in the map pass through untouched; %% is a literal percent.
+// The scan follows the other expansion functions exactly: a '%'
+// introduces a code only when a byte follows it.
+func ExpandBackendPercent(script string, vals map[byte]string) string {
+	if !strings.ContainsRune(script, '%') {
+		return script
+	}
+	var b strings.Builder
+	b.Grow(len(script))
+	start := 0
+	for i := 0; i < len(script); i++ {
+		if script[i] != '%' || i+1 >= len(script) {
+			continue
+		}
+		b.WriteString(script[start:i])
+		i++
+		switch c := script[i]; {
+		case c == '%':
+			b.WriteByte('%')
+		default:
+			if v, ok := vals[c]; ok {
+				b.WriteString(v)
+			} else {
+				b.WriteByte('%')
+				b.WriteByte(c)
+			}
+		}
+		start = i + 1
+	}
+	b.WriteString(script[start:])
+	return b.String()
+}
+
 // percentSegment is one piece of a scanned script: either a literal run
 // (code == 0) or a single percent code.
 type percentSegment struct {

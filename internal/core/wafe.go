@@ -62,6 +62,12 @@ type Wafe struct {
 	// the terminal so traces never land on the backend pipe.
 	traceSink func(string)
 
+	// BackendReport, when set by the frontend layer, supplies the
+	// `backend` command's lifecycle report as a flat name/value list
+	// (state, pid, restarts, last exit class/status, uptime). Nil means
+	// no backend is under lifecycle supervision.
+	BackendReport func() []string
+
 	cfg Config
 
 	// classes maps creation-command name → widget class.

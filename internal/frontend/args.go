@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Mode is Wafe's mode of operation.
@@ -67,6 +68,15 @@ type Options struct {
 	// resource database at startup (the paper's "resource description
 	// file, which is evaluated at startup time").
 	ResourceFile string
+
+	// Respawn is the maximum number of consecutive backend restarts
+	// after a crash or pipe error (--respawn); 0 keeps the classic
+	// behavior of quitting when the backend goes away.
+	Respawn int
+
+	// BackendGrace bounds each stage of the shutdown escalation
+	// (close stdin → SIGTERM → SIGKILL); zero means the default.
+	BackendGrace time.Duration
 
 	// MetricsDump, when non-empty, enables observability and writes
 	// the JSON metrics document to the named file at exit ("-" writes
@@ -157,6 +167,26 @@ func ParseArgs(argv0 string, args []string) (*Options, error) {
 				}
 				i++
 				o.ResourceFile = args[i]
+			case "--respawn":
+				if i+1 >= len(args) {
+					return nil, fmt.Errorf("wafe: --respawn requires a restart count")
+				}
+				i++
+				n, err := strconv.Atoi(args[i])
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("wafe: bad --respawn %q", args[i])
+				}
+				o.Respawn = n
+			case "--backend-grace":
+				if i+1 >= len(args) {
+					return nil, fmt.Errorf("wafe: --backend-grace requires a duration")
+				}
+				i++
+				d, err := time.ParseDuration(args[i])
+				if err != nil || d <= 0 {
+					return nil, fmt.Errorf("wafe: bad --backend-grace %q", args[i])
+				}
+				o.BackendGrace = d
 			case "--metrics-dump":
 				if i+1 >= len(args) {
 					return nil, fmt.Errorf("wafe: --metrics-dump requires a file name (or -)")

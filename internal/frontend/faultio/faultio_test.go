@@ -1,0 +1,70 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFlakyReaderFailsAfterBudget(t *testing.T) {
+	boom := errors.New("boom")
+	r := &FlakyReader{R: strings.NewReader("0123456789"), N: 4, Err: boom}
+	got, err := io.ReadAll(r)
+	if string(got) != "0123" {
+		t.Errorf("delivered %q, want %q", got, "0123")
+	}
+	if err != boom {
+		t.Errorf("err = %v, want the injected error", err)
+	}
+	// The failure is sticky.
+	if _, err := r.Read(make([]byte, 1)); err != boom {
+		t.Errorf("second read err = %v, want the injected error", err)
+	}
+}
+
+func TestFlakyReaderBudgetAtEOF(t *testing.T) {
+	boom := errors.New("boom")
+	r := &FlakyReader{R: strings.NewReader("abcd"), N: 4, Err: boom}
+	got, err := io.ReadAll(r)
+	if string(got) != "abcd" || err != boom {
+		t.Errorf("got %q, %v; the injected error must win over EOF", got, err)
+	}
+}
+
+func TestShortReaderFragments(t *testing.T) {
+	r := &ShortReader{R: strings.NewReader("abcdef"), Max: 2}
+	buf := make([]byte, 16)
+	n, err := r.Read(buf)
+	if n != 2 || err != nil {
+		t.Errorf("Read = %d, %v; want 2, nil", n, err)
+	}
+	rest, _ := io.ReadAll(r)
+	if string(buf[:n])+string(rest) != "abcdef" {
+		t.Errorf("fragmented content lost: %q + %q", buf[:n], rest)
+	}
+}
+
+func TestErrReader(t *testing.T) {
+	boom := errors.New("boom")
+	if _, err := (&ErrReader{Err: boom}).Read(make([]byte, 1)); err != boom {
+		t.Errorf("err = %v, want the injected error", err)
+	}
+}
+
+func TestFlakyWriterFailsAfterBudget(t *testing.T) {
+	boom := errors.New("boom")
+	var sink bytes.Buffer
+	w := &FlakyWriter{W: &sink, N: 4, Err: boom}
+	n, err := w.Write([]byte("0123456789"))
+	if n != 4 || err != boom {
+		t.Errorf("Write = %d, %v; want 4 and the injected error", n, err)
+	}
+	if sink.String() != "0123" {
+		t.Errorf("sink = %q, want %q", sink.String(), "0123")
+	}
+	if _, err := w.Write([]byte("x")); err != boom {
+		t.Errorf("second write err = %v, want the injected error", err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"wafe/internal/core"
 	"wafe/internal/obs"
 	"wafe/internal/tcl"
+	"wafe/internal/xt"
 )
 
 // Frontend drives one Wafe instance in any of the three modes. In
@@ -46,6 +47,15 @@ type Frontend struct {
 	// failure itself is reported on the terminal only, so the counter
 	// is the backend-visible signal (statistics, metrics dump).
 	EvalErrors int
+	// ReadErrors counts command-pipe read failures — a broken pipe is
+	// not a clean backend exit and must not masquerade as one.
+	ReadErrors int
+
+	// onBackendGone, when non-nil, handles the end of the command pipe
+	// (clean EOF or a read error) instead of the default quit. The
+	// Supervisor installs itself here to classify the exit and apply
+	// the restart policy.
+	onBackendGone func(readErr error)
 }
 
 // New wires a Frontend around a Wafe instance.
@@ -97,7 +107,9 @@ func (f *Frontend) registerCommands() {
 // AttachApp wires the application program's stdio: appOut is the
 // backend's stdout (read for `%` command lines), appIn its stdin
 // (receives Wafe's echo output). The reader goroutine feeds the Xt
-// event loop through AddInput, mirroring XtAppAddInput on the pipe.
+// event loop through AddInputEvents, mirroring XtAppAddInput on the
+// pipe, and distinguishes three terminal conditions: clean EOF, a read
+// error, and an overlong line (which is skipped, not terminal at all).
 func (f *Frontend) AttachApp(appOut io.Reader, appIn io.Writer) {
 	f.toApp = appIn
 	// Route the interpreter's output to the backend.
@@ -107,23 +119,93 @@ func (f *Frontend) AttachApp(appOut io.Reader, appIn io.Writer) {
 			_ = fl.Flush()
 		}
 	}
-	lines := make(chan string, 256)
-	go func() {
-		defer close(lines)
-		sc := bufio.NewScanner(appOut)
-		sc.Buffer(make([]byte, 64*1024), f.Opts.LineLimit+4096)
-		for sc.Scan() {
-			lines <- sc.Text()
+	events := make(chan xt.InputEvent, 256)
+	go readCommandLines(appOut, f.Opts.LineLimit+4096, events)
+	f.W.App.AddInputEvents(events, f.handleInputEvent)
+}
+
+// readCommandLines reads the backend's stdout line by line and delivers
+// each as an InputEvent. A line longer than max bytes is truncated to
+// max and the remainder discarded up to its newline (skip-and-resync),
+// so one runaway line cannot end the session — the frontend rejects the
+// truncated prefix as overlong and the next line parses normally. A
+// read error is delivered as a terminal Err event, distinct from EOF
+// (the backend closing its stdout); bufio.Scanner conflated the two by
+// stopping silently, which made ErrTooLong and broken pipes look like a
+// clean backend exit.
+func readCommandLines(r io.Reader, max int, out chan<- xt.InputEvent) {
+	defer close(out)
+	br := bufio.NewReaderSize(r, 64*1024)
+	var buf []byte
+	skipping := false
+	for {
+		chunk, err := br.ReadSlice('\n')
+		if skipping {
+			// Discarding the tail of an overlong line.
+		} else if buf = append(buf, chunk...); len(buf) > max {
+			buf = buf[:max]
+			skipping = true
 		}
-	}()
-	f.W.App.AddInput(lines, func(line string, eof bool) {
-		if eof {
-			// Application program terminated: the frontend quits too.
-			f.W.App.Quit(f.W.ExitCode())
+		switch err {
+		case nil:
+			out <- xt.InputEvent{Line: chopLine(buf)}
+			buf, skipping = buf[:0], false
+		case bufio.ErrBufferFull:
+			// Mid-line: keep reading.
+		case io.EOF:
+			if len(buf) > 0 {
+				out <- xt.InputEvent{Line: chopLine(buf)}
+			}
+			out <- xt.InputEvent{EOF: true}
+			return
+		default:
+			// A partial line before the error is dropped: executing a
+			// truncated command would be worse than losing it.
+			out <- xt.InputEvent{Err: err}
 			return
 		}
-		f.HandleAppLine(line)
-	})
+	}
+}
+
+// chopLine strips the line terminator (\n, optionally preceded by \r)
+// and returns the line as a string.
+func chopLine(b []byte) string {
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		b = b[:n-1]
+		if n := len(b); n > 0 && b[n-1] == '\r' {
+			b = b[:n-1]
+		}
+	}
+	return string(b)
+}
+
+// handleInputEvent runs on the event-loop goroutine for every delivery
+// from the command pipe.
+func (f *Frontend) handleInputEvent(ev xt.InputEvent) {
+	switch {
+	case ev.Err != nil:
+		f.ReadErrors++
+		if m := f.W.Metrics; m != nil {
+			m.Frontend.ReadErrors.Inc()
+		}
+		fmt.Fprintf(f.Terminal, "wafe: read error on command pipe: %v\n", ev.Err)
+		f.backendGone(ev.Err)
+	case ev.EOF:
+		f.backendGone(nil)
+	default:
+		f.HandleAppLine(ev.Line)
+	}
+}
+
+// backendGone reacts to the end of the command pipe. Without a
+// supervisor the frontend quits, as before; a supervisor classifies
+// the exit and applies its restart policy instead.
+func (f *Frontend) backendGone(readErr error) {
+	if f.onBackendGone != nil {
+		f.onBackendGone(readErr)
+		return
+	}
+	f.W.App.Quit(f.W.ExitCode())
 }
 
 // HandleAppLine processes one output line from the application program:
@@ -320,6 +402,12 @@ func balanced(s string) bool {
 		c := s[i]
 		switch {
 		case c == '\\':
+			if i == len(s)-1 {
+				// A trailing backslash is a Tcl line continuation
+				// (backslash-newline): the command is incomplete until
+				// more input arrives.
+				return false
+			}
 			i++
 		case inQuote:
 			if c == '"' {

@@ -13,3 +13,7 @@ import (
 func socketpair() (parent, child *os.File, err error) {
 	return nil, nil, errors.New("socketpair not supported on this platform")
 }
+
+// closeWrite is only reached with a socketpair transport, which this
+// platform never establishes; closing the whole file is a safe stub.
+func closeWrite(f *os.File) error { return f.Close() }

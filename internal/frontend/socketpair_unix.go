@@ -18,3 +18,19 @@ func socketpair() (parent, child *os.File, err error) {
 	return os.NewFile(uintptr(fds[0]), "wafe-sock-parent"),
 		os.NewFile(uintptr(fds[1]), "wafe-sock-child"), nil
 }
+
+// closeWrite shuts down the write half of the parent's socketpair end:
+// the backend's stdin reaches EOF while its stdout stays readable.
+func closeWrite(f *os.File) error {
+	rc, err := f.SyscallConn()
+	if err != nil {
+		return err
+	}
+	var serr error
+	if err := rc.Control(func(fd uintptr) {
+		serr = syscall.Shutdown(int(fd), syscall.SHUT_WR)
+	}); err != nil {
+		return err
+	}
+	return serr
+}

@@ -5,6 +5,9 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"sync"
+	"syscall"
+	"time"
 )
 
 // IPC selects the program-to-program transport. The paper's
@@ -20,6 +23,11 @@ const (
 	IPCPipe
 )
 
+// DefaultBackendGrace bounds each stage of the graceful-shutdown
+// escalation (close stdin → SIGTERM → SIGKILL) when no --backend-grace
+// was given.
+const DefaultBackendGrace = 3 * time.Second
+
 // Child is a spawned application program with its channels.
 type Child struct {
 	Cmd *exec.Cmd
@@ -28,7 +36,12 @@ type Child struct {
 	Transport IPC
 
 	massRead *os.File
-	conn     io.Closer // parent end of a socketpair transport, if any
+	conn     *os.File  // parent end of a socketpair transport, if any
+	stdin    io.Closer // parent's write end of the child's stdin (pipe transport)
+
+	inOnce   sync.Once
+	waitOnce sync.Once
+	waitErr  error
 }
 
 // Spawn starts the application program as a subprocess of the frontend
@@ -47,8 +60,9 @@ func (f *Frontend) SpawnIPC(program string, args []string, ipc IPC) (*Child, err
 
 	var appOut io.Reader // child stdout → frontend
 	var appIn io.Writer  // frontend → child stdin
+	var stdinCloser io.Closer
 	var closeAfterStart []*os.File
-	var parentConn io.Closer
+	var parentConn *os.File
 	used := IPCPipe
 
 	if ipc == IPCSocketpair {
@@ -76,6 +90,7 @@ func (f *Frontend) SpawnIPC(program string, args []string, ipc IPC) (*Child, err
 		}
 		appIn = stdin
 		appOut = stdout
+		stdinCloser = stdin
 	}
 
 	massRead, massWrite, err := os.Pipe()
@@ -100,16 +115,46 @@ func (f *Frontend) SpawnIPC(program string, args []string, ipc IPC) (*Child, err
 	f.AttachApp(appOut, appIn)
 	f.AttachMass(massRead)
 	f.SendInitCom()
-	return &Child{Cmd: cmd, Transport: used, massRead: massRead, conn: parentConn}, nil
+	return &Child{Cmd: cmd, Transport: used, massRead: massRead, conn: parentConn, stdin: stdinCloser}, nil
 }
 
-// Wait reaps the child.
+// Wait reaps the child; safe to call any number of times and from
+// multiple goroutines (the shutdown escalation and the supervisor both
+// wait on the same child).
 func (c *Child) Wait() error {
-	defer c.massRead.Close()
-	if c.conn != nil {
-		defer c.conn.Close()
+	c.waitOnce.Do(func() {
+		c.waitErr = c.Cmd.Wait()
+		c.massRead.Close()
+		if c.conn != nil {
+			c.conn.Close()
+		}
+	})
+	return c.waitErr
+}
+
+// CloseInput closes the frontend→backend direction so a backend
+// blocked reading its stdin sees EOF. On the socketpair transport only
+// the write half is shut down — the read direction stays open so any
+// final output from the backend is still collected. Without this,
+// Child.Wait on a backend blocked in read(stdin) deadlocks forever:
+// nothing else ever closes the parent's write end.
+func (c *Child) CloseInput() {
+	c.inOnce.Do(func() {
+		if c.conn != nil {
+			_ = closeWrite(c.conn)
+			return
+		}
+		if c.stdin != nil {
+			_ = c.stdin.Close()
+		}
+	})
+}
+
+// Signal sends sig to the child; a no-op when the process is gone.
+func (c *Child) Signal(sig os.Signal) {
+	if c.Cmd.Process != nil {
+		_ = c.Cmd.Process.Signal(sig)
 	}
-	return c.Cmd.Wait()
 }
 
 // Kill terminates the child.
@@ -117,4 +162,31 @@ func (c *Child) Kill() {
 	if c.Cmd.Process != nil {
 		_ = c.Cmd.Process.Kill()
 	}
+}
+
+// Shutdown tears the child down gracefully and always reaps it: close
+// its stdin (a backend blocked in read sees EOF and can exit its read
+// loop), wait up to grace, escalate to SIGTERM, wait up to grace
+// again, then SIGKILL. It returns Wait's result, so it cannot deadlock
+// on a backend that ignores both EOF and SIGTERM.
+func (c *Child) Shutdown(grace time.Duration) error {
+	if grace <= 0 {
+		grace = DefaultBackendGrace
+	}
+	c.CloseInput()
+	done := make(chan error, 1)
+	go func() { done <- c.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(grace):
+	}
+	c.Signal(syscall.SIGTERM)
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(grace):
+	}
+	c.Kill()
+	return <-done
 }

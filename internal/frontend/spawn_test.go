@@ -134,6 +134,62 @@ echo '%quit'
 	}
 }
 
+// TestShutdownBlockedBackend: a backend blocked reading its stdin must
+// see EOF when the frontend shuts down — closing the parent's write end
+// is what unblocks it. Before CloseInput existed, nothing ever closed
+// that end and Child.Wait deadlocked here.
+func TestShutdownBlockedBackend(t *testing.T) {
+	for _, ipc := range []IPC{IPCSocketpair, IPCPipe} {
+		backend := writeBackend(t, `#!/bin/sh
+while read line; do :; done
+exit 0
+`)
+		w := core.NewTest()
+		f := New(w, nil, &lockedBuf{})
+		child, err := f.SpawnIPC(backend, nil, ipc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		err = child.Shutdown(2 * time.Second)
+		elapsed := time.Since(start)
+		if err != nil {
+			t.Errorf("ipc %v: Shutdown = %v, want clean EOF exit", ipc, err)
+		}
+		if elapsed >= 2*time.Second {
+			t.Errorf("ipc %v: Shutdown took %v — stdin EOF did not unblock the backend", ipc, elapsed)
+		}
+	}
+}
+
+// TestShutdownHungBackend: a backend that ignores both stdin EOF and
+// SIGTERM is killed on the grace deadline; Shutdown always reaps.
+func TestShutdownHungBackend(t *testing.T) {
+	backend := writeBackend(t, `#!/bin/sh
+trap '' TERM
+while :; do sleep 1; done
+`)
+	w := core.NewTest()
+	f := New(w, nil, &lockedBuf{})
+	child, err := f.Spawn(backend, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err = child.Shutdown(100 * time.Millisecond)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Error("Shutdown = nil, want the kill to surface as an exit error")
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("Shutdown took %v — escalation to SIGKILL did not bound the teardown", elapsed)
+	}
+	// Wait after Shutdown stays idempotent and agrees.
+	if werr := child.Wait(); werr == nil {
+		t.Error("Wait after Shutdown = nil, want the same exit error")
+	}
+}
+
 // TestSpawnMissingProgram: a startup failure is reported cleanly.
 func TestSpawnMissingProgram(t *testing.T) {
 	w := core.NewTest()

@@ -1,0 +1,172 @@
+//go:build unix
+
+package frontend
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"wafe/internal/core"
+)
+
+// runLoop starts the main loop and returns its exit code, failing the
+// test if it does not finish in time.
+func runLoop(t *testing.T, w *core.Wafe, timeout time.Duration) int {
+	t.Helper()
+	done := make(chan int, 1)
+	go func() { done <- w.App.MainLoop() }()
+	select {
+	case code := <-done:
+		return code
+	case <-time.After(timeout):
+		t.Fatal("main loop did not finish")
+		return -1
+	}
+}
+
+// TestSupervisorRestartsCrashedBackend: a backend that keeps crashing
+// is restarted with InitCom re-sent each time, the onBackendRestart
+// script runs with percent codes expanded, and once the restart budget
+// is exhausted the frontend quits with a failure code.
+func TestSupervisorRestartsCrashedBackend(t *testing.T) {
+	backend := writeBackend(t, `#!/bin/sh
+read line
+echo "booted $line"
+exit 42
+`)
+	w := core.NewTest()
+	m := w.EnableObservability()
+	_ = w.App.DB.Enter("*InitCom", "boot")
+	_ = w.App.DB.Enter("*onBackendRestart", "set lastRestart {%r %n}")
+	term := &lockedBuf{}
+	f := New(w, nil, term)
+	sup, err := f.Supervise(backend, nil, RestartPolicy{
+		MaxRestarts: 2,
+		Backoff:     5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := runLoop(t, w, 15*time.Second)
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1 after giving up on a crashing backend", code)
+	}
+	// Three incarnations (initial + 2 restarts), each booted by InitCom.
+	if got := strings.Count(term.String(), "booted boot"); got != 3 {
+		t.Errorf("backend booted %d times, want 3; terminal:\n%s", got, term.String())
+	}
+	if sup.Restarts() != 2 {
+		t.Errorf("Restarts() = %d, want 2", sup.Restarts())
+	}
+	if sup.State() != BackendExited {
+		t.Errorf("State() = %q, want %q", sup.State(), BackendExited)
+	}
+	if sup.LastExitClass() != ExitCrash {
+		t.Errorf("LastExitClass() = %q, want %q", sup.LastExitClass(), ExitCrash)
+	}
+	if got := m.Frontend.BackendRestarts.Load(); got != 2 {
+		t.Errorf("backend_restarts = %d, want 2", got)
+	}
+	if got := m.Frontend.BackendExits.Get(ExitCrash); got != 3 {
+		t.Errorf("backend_exits.crash = %d, want 3", got)
+	}
+	// The restart script ran with %r and %n substituted.
+	if v, err := w.Eval("set lastRestart"); err != nil || v != "crash 2" {
+		t.Errorf("lastRestart = %q, %v; want \"crash 2\"", v, err)
+	}
+	if !strings.Contains(term.String(), "giving up on backend") {
+		t.Errorf("missing give-up report; terminal:\n%s", term.String())
+	}
+}
+
+// TestSupervisorCleanExitQuits: without an onBackendExit script a clean
+// backend exit still ends the frontend, like the unsupervised path, and
+// never burns restart budget.
+func TestSupervisorCleanExitQuits(t *testing.T) {
+	backend := writeBackend(t, `#!/bin/sh
+echo "hello from backend"
+exit 0
+`)
+	w := core.NewTest()
+	m := w.EnableObservability()
+	term := &lockedBuf{}
+	f := New(w, nil, term)
+	sup, err := f.Supervise(backend, nil, RestartPolicy{MaxRestarts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := runLoop(t, w, 10*time.Second); code != 0 {
+		t.Errorf("exit code = %d, want 0 for a clean backend exit", code)
+	}
+	if sup.Restarts() != 0 {
+		t.Errorf("Restarts() = %d, want 0", sup.Restarts())
+	}
+	if got := m.Frontend.BackendExits.Get(ExitClean); got != 1 {
+		t.Errorf("backend_exits.clean = %d, want 1", got)
+	}
+	if !strings.Contains(term.String(), "hello from backend") {
+		t.Errorf("passthrough lost; terminal:\n%s", term.String())
+	}
+}
+
+// TestSupervisorExitScriptKeepsFrontendAlive: with onBackendExit
+// configured, a clean backend exit runs the script instead of quitting,
+// and the `backend` command reports the terminal state.
+func TestSupervisorExitScriptKeepsFrontendAlive(t *testing.T) {
+	backend := writeBackend(t, `#!/bin/sh
+exit 0
+`)
+	w := core.NewTest()
+	_ = w.App.DB.Enter("*onBackendExit", "set gone %r")
+	term := &lockedBuf{}
+	f := New(w, nil, term)
+	sup, err := f.Supervise(backend, nil, RestartPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan int, 1)
+	go func() { done <- w.App.MainLoop() }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for sup.State() != BackendExited {
+		if time.Now().After(deadline) {
+			t.Fatal("supervisor never reached the exited state")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var gone, report string
+	post(t, f, func() {
+		gone, _ = w.Eval("set gone")
+		report, _ = w.Eval("backend")
+	})
+	if gone != "clean" {
+		t.Errorf("onBackendExit saw %%r = %q, want \"clean\"", gone)
+	}
+	if !strings.Contains(report, "state exited") {
+		t.Errorf("backend command = %q, want it to report state exited", report)
+	}
+	// The frontend is still alive — the loop only ends when we ask.
+	f.W.App.Post(func() { f.W.App.Quit(7) })
+	select {
+	case code := <-done:
+		if code != 7 {
+			t.Errorf("exit code = %d, want the explicit 7 (frontend must not have quit on its own)", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("main loop did not finish")
+	}
+}
+
+// TestBackendCommandUnsupervised: without a supervisor the `backend`
+// command still answers.
+func TestBackendCommandUnsupervised(t *testing.T) {
+	w := core.NewTest()
+	out, err := w.Eval("backend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "state none") {
+		t.Errorf("backend = %q, want state none", out)
+	}
+}

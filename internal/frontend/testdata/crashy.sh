@@ -1,0 +1,30 @@
+#!/bin/sh
+# crashy.sh — crash-on-demand test backend for supervisor tests.
+#
+# Speaks the wafe pipe protocol on stdin/stdout: announces itself with
+# a %-command on startup, echoes InitCom-style boot lines, and obeys
+# fault orders sent as ordinary event lines on stdin:
+#
+#   crash   exit 42 immediately (simulates a backend crash)
+#   hang    ignore SIGTERM and sleep forever (forces the SIGKILL path)
+#   quit    exit 0 (clean shutdown)
+#   boot    reply "booted $$" (lets tests count InitCom deliveries)
+#
+# Any other line is echoed back as "got <line>" so tests can confirm
+# liveness. EOF on stdin is a clean exit, like a well-behaved backend.
+
+echo "%echo backend-up $$"
+
+while IFS= read -r line; do
+    case "$line" in
+        crash) exit 42 ;;
+        hang)
+            trap '' TERM
+            while :; do sleep 1; done
+            ;;
+        quit) exit 0 ;;
+        boot) echo "%echo booted $$" ;;
+        *) echo "%echo got $line" ;;
+    esac
+done
+exit 0

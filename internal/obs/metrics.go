@@ -38,7 +38,8 @@ type XprotoMetrics struct {
 }
 
 // FrontendMetrics accounts the pipe protocol: line classes, per-line
-// handling latency, eval failures and mass-channel throughput.
+// handling latency, eval failures, mass-channel throughput, and the
+// backend lifecycle (exit classes, supervised restarts, uptime).
 type FrontendMetrics struct {
 	CommandLines  Counter
 	PassedLines   Counter
@@ -47,6 +48,18 @@ type FrontendMetrics struct {
 	LineLatency   Histogram
 	MassTransfers Counter
 	MassBytes     Counter
+
+	// ReadErrors counts command-pipe read failures — previously
+	// indistinguishable from clean EOF.
+	ReadErrors Counter
+	// BackendExits classifies every backend departure:
+	// clean / crash / readerr / spawn.
+	BackendExits CounterVec
+	// BackendRestarts counts supervised respawns.
+	BackendRestarts Counter
+	// BackendUptime records each completed backend life in
+	// milliseconds (the Max watermark is the longest life).
+	BackendUptime Gauge
 }
 
 // Metrics is the aggregate registry one Wafe instance threads through
@@ -132,7 +145,12 @@ func (m *Metrics) Snapshot() []Sample {
 		Sample{"frontend.eval_errors", f.EvalErrors.Load()},
 		Sample{"frontend.mass_transfers", f.MassTransfers.Load()},
 		Sample{"frontend.mass_bytes", f.MassBytes.Load()},
+		Sample{"frontend.read_errors", f.ReadErrors.Load()},
+		Sample{"frontend.backend_restarts", f.BackendRestarts.Load()},
+		Sample{"frontend.backend_uptime_ms", f.BackendUptime.Load()},
+		Sample{"frontend.backend_uptime_ms_max", f.BackendUptime.Max()},
 	)
+	out = vecSamples("frontend.backend_exits", &f.BackendExits, out)
 	out = histSamples("frontend.line_latency", &f.LineLatency, out)
 	return out
 }

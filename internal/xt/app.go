@@ -73,6 +73,11 @@ type App struct {
 	// displays opened after observability is enabled are instrumented
 	// too.
 	displayObs atomic.Pointer[obs.XprotoMetrics]
+
+	// loopGoID identifies the goroutine currently running the event
+	// loop (MainLoop, or Sync in tests); zero when none. Post consults
+	// it on the full-queue path to avoid deadlocking against itself.
+	loopGoID atomic.Int64
 }
 
 // SetObs attaches (or, with nil, detaches) the observability metrics.
@@ -301,8 +306,16 @@ func (app *App) Post(fn func()) {
 	select {
 	case app.posted <- fn:
 	default:
-		// Queue full: run a slow path that blocks; Post is called from
-		// reader goroutines which may legitimately outpace the loop.
+		// Queue full. A blocking send is correct from reader
+		// goroutines, which may legitimately outpace the loop — but on
+		// the loop goroutine itself (a callback or timer posting) it
+		// would wait on the only goroutine able to drain the queue.
+		// Run the closure inline in that case; the goroutine identity
+		// check is confined to this cold path.
+		if app.loopGoID.Load() == goid() {
+			fn()
+			return
+		}
 		app.posted <- fn
 	}
 }
@@ -349,6 +362,12 @@ func (app *App) runDueTimers() time.Duration {
 	}
 	app.timers = keep
 	for _, t := range due {
+		// Recheck removal: XtRemoveTimeOut guarantees a removed timeout
+		// never fires, including removal by an earlier timer callback
+		// in the same due batch.
+		if t.removed {
+			continue
+		}
 		t.fn()
 	}
 	if len(due) > 0 {
@@ -370,6 +389,29 @@ func (app *App) AddInput(ch <-chan string, handler InputHandler) {
 			app.Post(func() { handler(l, false) })
 		}
 		app.Post(func() { handler("", true) })
+	}()
+}
+
+// InputEvent is one delivery from an error-aware input source: a line,
+// or a terminal condition — EOF (the source closed cleanly) or Err (the
+// read failed). Distinguishing the two is what lets the frontend tell a
+// backend that exited from a pipe that broke.
+type InputEvent struct {
+	Line string
+	EOF  bool
+	Err  error
+}
+
+// AddInputEvents attaches an input source with error reporting: each
+// event received on ch is handed to handler on the event-loop
+// goroutine, in order. The producer sends a terminal EOF or Err event
+// and then closes ch.
+func (app *App) AddInputEvents(ch <-chan InputEvent, handler func(InputEvent)) {
+	go func() {
+		for ev := range ch {
+			e := ev
+			app.Post(func() { handler(e) })
+		}
 	}()
 }
 
@@ -407,6 +449,8 @@ func (app *App) Quitting() bool { return app.quit }
 // closures, fire timers, and run work procs when idle, until Quit.
 // It returns the exit status passed to Quit.
 func (app *App) MainLoop() int {
+	app.loopGoID.Store(goid())
+	defer app.loopGoID.Store(0)
 	for !app.quit {
 		app.Pump()
 		wait := app.runDueTimers()
@@ -440,8 +484,11 @@ func (app *App) drainPosted() {
 }
 
 // Sync processes posted closures and events until both are idle — the
-// deterministic test helper (no timers fire).
+// deterministic test helper (no timers fire). While it runs, the
+// calling goroutine is the loop for Post's full-queue check.
 func (app *App) Sync() {
+	prev := app.loopGoID.Swap(goid())
+	defer app.loopGoID.Store(prev)
 	for {
 		app.Pump()
 		select {

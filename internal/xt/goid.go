@@ -1,0 +1,22 @@
+package xt
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+)
+
+// goid returns the current goroutine's id, parsed from the runtime
+// stack header ("goroutine N [status]:"). The parse costs a few
+// microseconds, so callers keep it off hot paths — Post only consults
+// it once its queue is already full.
+func goid() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := bytes.TrimPrefix(buf[:n], []byte("goroutine "))
+	if i := bytes.IndexByte(s, ' '); i >= 0 {
+		s = s[:i]
+	}
+	id, _ := strconv.ParseInt(string(s), 10, 64)
+	return id
+}

@@ -1,0 +1,94 @@
+package xt
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPostFromLoopWithFullQueue: Post called on the event-loop
+// goroutine with the queue at capacity must run the closure inline
+// instead of block-sending — the loop cannot drain the queue while it
+// is the one waiting on it.
+func TestPostFromLoopWithFullQueue(t *testing.T) {
+	app := NewTestApp("wafe")
+	ran := false
+	app.Post(func() {
+		// We are on the loop goroutine: fill the queue to capacity so
+		// the next Post hits the full-queue path.
+		for i := 0; i < cap(app.posted); i++ {
+			app.posted <- func() {}
+		}
+		app.Post(func() {
+			ran = true
+			app.Quit(0)
+		})
+	})
+	done := make(chan int, 1)
+	go func() { done <- app.MainLoop() }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("MainLoop deadlocked: Post from the loop goroutine blocked on its own queue")
+	}
+	if !ran {
+		t.Error("posted closure never ran")
+	}
+}
+
+// TestPostFromReaderWithFullQueueBlocks: off-loop senders must still
+// block (not drop, not run inline on the wrong goroutine) and be
+// drained in order.
+func TestPostFromReaderWithFullQueue(t *testing.T) {
+	app := NewTestApp("wafe")
+	const extra = 64
+	total := cap(app.posted) + extra
+	seen := 0
+	go func() {
+		for i := 0; i < total; i++ {
+			app.Post(func() { seen++ })
+		}
+		app.Post(func() { app.Quit(0) })
+	}()
+	done := make(chan int, 1)
+	go func() { done <- app.MainLoop() }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("MainLoop did not quit")
+	}
+	if seen != total {
+		t.Errorf("ran %d closures, want %d", seen, total)
+	}
+}
+
+// TestTimerRemovedBySiblingInBatch: XtRemoveTimeOut guarantees a
+// removed timeout never fires — including removal by an earlier timer
+// callback in the same expired batch, after runDueTimers has already
+// collected both.
+func TestTimerRemovedBySiblingInBatch(t *testing.T) {
+	app := NewTestApp("wafe")
+	var t2 *Timer
+	t1Fired, t2Fired := false, false
+	app.AddTimeout(1*time.Millisecond, func() {
+		t1Fired = true
+		t2.Remove()
+	})
+	t2 = app.AddTimeout(2*time.Millisecond, func() { t2Fired = true })
+	app.AddTimeout(50*time.Millisecond, func() { app.Quit(0) })
+	// Let both deadlines expire before the loop starts so a single
+	// runDueTimers pass collects them into one due batch.
+	time.Sleep(20 * time.Millisecond)
+	done := make(chan int, 1)
+	go func() { done <- app.MainLoop() }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("MainLoop did not quit")
+	}
+	if !t1Fired {
+		t.Error("first timer did not fire")
+	}
+	if t2Fired {
+		t.Error("timer removed by a sibling in the same due batch still fired")
+	}
+}

@@ -5,8 +5,10 @@
 #
 # Usage: scripts/bench.sh [go-test-bench-regexp]
 #        scripts/bench.sh obs [go-test-bench-regexp]
+#        scripts/bench.sh supervise
 # Environment: COUNT (default 3), BENCHTIME (default 1s),
-# BENCHTIME_F5 (default 140000x).
+# BENCHTIME_F5 (default 140000x), NOISE_PCT (default 15, supervise
+# mode only).
 #
 # The `obs` mode measures the overhead of the observability layer in
 # its disabled state (instrumentation compiled in, metrics pointers
@@ -28,6 +30,54 @@ obs_mode=
 if [ "${1:-}" = "obs" ]; then
     obs_mode=1
     shift
+fi
+
+# The `supervise` mode guards the backend-lifecycle work: supervision
+# hooks sit outside the per-line fast path (one nil check when the
+# command pipe ends, nothing per delivered line). The gate is a paired
+# same-run comparison — F4 with a live supervised backend attached
+# against plain F4 — so it is immune to machine-to-machine drift in
+# absolute ns/op. The BENCH_obs.json disabled-path baseline is printed
+# alongside for reference only.
+if [ "${1:-}" = "supervise" ]; then
+    count="${COUNT:-3}"
+    benchtime="${BENCHTIME:-1s}"
+    noise="${NOISE_PCT:-15}"
+    out=$(go test -bench 'BenchmarkF4_FrontendRoundTrip$|BenchmarkF4_FrontendRoundTripSupervised$' \
+        -benchmem -benchtime "$benchtime" -count "$count" -run '^$' .)
+    printf '%s\n' "$out"
+    printf '%s\n' "$out" | awk -v noise="$noise" '
+    FNR == NR {
+        if (match($0, /^  "BenchmarkF4_FrontendRoundTrip"/) &&
+            match($0, /"disabled_ns_per_op": [0-9.]+/))
+            obsbase = substr($0, RSTART + 21, RLENGTH - 21) + 0
+        next
+    }
+    /^Benchmark/ {
+        nm = $1
+        sub(/-[0-9]+$/, "", nm)
+        ns[nm] += $3; n[nm]++
+    }
+    END {
+        plain = "BenchmarkF4_FrontendRoundTrip"
+        sup = "BenchmarkF4_FrontendRoundTripSupervised"
+        if (!(plain in ns) || !(sup in ns)) {
+            print "supervise: benchmarks missing (skipped platform?)"
+            exit 0
+        }
+        p = ns[plain] / n[plain]
+        s = ns[sup] / n[sup]
+        delta = (s - p) / p * 100
+        printf "supervise: plain %.1f ns/op, supervised %.1f ns/op, delta %+.2f%%\n", p, s, delta
+        if (obsbase > 0)
+            printf "supervise: BENCH_obs.json disabled-path baseline: %.1f ns/op (reference only)\n", obsbase
+        if (delta > noise) {
+            printf "supervise: supervision adds more than %s%% to line latency\n", noise
+            exit 1
+        }
+        printf "supervise: within the %s%% noise bound\n", noise
+    }' BENCH_obs.json -
+    exit $?
 fi
 
 pattern="${1:-.}"

@@ -15,7 +15,15 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/tcl/ ./internal/core/ ./internal/xt/ ./internal/frontend/ ./internal/obs/"
-go test -race ./internal/tcl/ ./internal/core/ ./internal/xt/ ./internal/frontend/ ./internal/obs/
+echo "== go test -race ./internal/tcl/ ./internal/core/ ./internal/xt/ ./internal/frontend/... ./internal/obs/"
+go test -race ./internal/tcl/ ./internal/core/ ./internal/xt/ ./internal/frontend/... ./internal/obs/
+
+# The fault-injection suite drives the supervisor and the pipe loop
+# through crash, hang, overlong-line and broken-pipe scenarios; run it
+# by name so a renamed test cannot silently drop out of the gate.
+echo "== go test -race fault injection + supervision"
+go test -race -count 1 \
+    -run 'TestSupervisor|TestShutdown|TestReadError|TestOverlong|TestPostFrom|TestTimerRemoved' \
+    ./internal/xt/ ./internal/frontend/
 
 echo "verify: OK"
