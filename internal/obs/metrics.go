@@ -28,6 +28,14 @@ type XtMetrics struct {
 	PostedQueueDepth Gauge // posted-closure channel observed in Post
 	CallbacksFired   Counter
 	ActionsFired     Counter
+
+	// XrmSearchListHits/Misses count resource-database search-list
+	// cache hits against (re)builds; XrmGeneration mirrors the
+	// database generation counter whose bumps (mergeResources, -xrm,
+	// resource files) invalidate cached search lists.
+	XrmSearchListHits   Counter
+	XrmSearchListMisses Counter
+	XrmGeneration       Gauge
 }
 
 // XprotoMetrics counts protocol requests per operation (draw requests,
@@ -130,6 +138,9 @@ func (m *Metrics) Snapshot() []Sample {
 		Sample{"xt.posted_queue_depth_max", x.PostedQueueDepth.Max()},
 		Sample{"xt.callbacks_fired", x.CallbacksFired.Load()},
 		Sample{"xt.actions_fired", x.ActionsFired.Load()},
+		Sample{"xt.xrm_searchlist_hits", x.XrmSearchListHits.Load()},
+		Sample{"xt.xrm_searchlist_misses", x.XrmSearchListMisses.Load()},
+		Sample{"xt.xrm_generation", x.XrmGeneration.Load()},
 	)
 	out = histSamples("xt.dispatch_latency", &x.DispatchLatency, out)
 

@@ -36,9 +36,10 @@ type App struct {
 	display  *xproto.Display
 	displays []*xproto.Display
 
-	converters map[string]Converter
-	formatters map[string]Formatter
-	actions    map[string]ActionProc
+	converters  map[string]Converter
+	convertersQ map[Quark]Converter // same converters, keyed by interned type
+	formatters  map[string]Formatter
+	actions     map[string]ActionProc
 
 	widgets     map[string]*Widget
 	byWindow    map[windowKey]*Widget
@@ -80,8 +81,12 @@ type App struct {
 	loopGoID atomic.Int64
 }
 
-// SetObs attaches (or, with nil, detaches) the observability metrics.
-func (app *App) SetObs(m *obs.XtMetrics) { app.obs.Store(m) }
+// SetObs attaches (or, with nil, detaches) the observability metrics,
+// including the resource-database search-list and generation metrics.
+func (app *App) SetObs(m *obs.XtMetrics) {
+	app.obs.Store(m)
+	app.DB.SetObs(m)
+}
 
 // SetDisplayObs attaches protocol-request metrics to every display of
 // the app, current and future.
@@ -114,17 +119,18 @@ func NewTestApp(appName string) *App {
 
 func newAppOn(appName, className string, d *xproto.Display) *App {
 	app := &App{
-		Name:       appName,
-		ClassName:  className,
-		DB:         NewXrm(),
-		display:    d,
-		displays:   []*xproto.Display{d},
-		converters: make(map[string]Converter),
-		formatters: make(map[string]Formatter),
-		actions:    make(map[string]ActionProc),
-		widgets:    make(map[string]*Widget),
-		byWindow:   make(map[windowKey]*Widget),
-		posted:     make(chan func(), 1024),
+		Name:        appName,
+		ClassName:   className,
+		DB:          NewXrm(),
+		display:     d,
+		displays:    []*xproto.Display{d},
+		converters:  make(map[string]Converter),
+		convertersQ: make(map[Quark]Converter),
+		formatters:  make(map[string]Formatter),
+		actions:     make(map[string]ActionProc),
+		widgets:     make(map[string]*Widget),
+		byWindow:    make(map[windowKey]*Widget),
+		posted:      make(chan func(), 1024),
 	}
 	app.ErrorHandler = func(err error) {
 		app.errorsMu.Lock()

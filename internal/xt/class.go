@@ -1,8 +1,15 @@
 package xt
 
+import "sync"
+
 // Class is a widget class record (XtWidgetClass). Classes form a
 // single-inheritance chain; resource lists are additive along the
 // chain and method fields chain super-to-sub where the Xt spec says so.
+//
+// Resource and constraint declarations must be complete before the
+// first instance of the class is created: the flattened chain, the
+// merged resource list and the interned resource quarks are memoized
+// on first use and shared by every subsequent widget creation.
 type Class struct {
 	Name  string
 	Super *Class
@@ -37,7 +44,90 @@ type Class struct {
 	// PreferredSize returns the widget's desired size given its current
 	// resources (query-geometry).
 	PreferredSize func(w *Widget) (width, height int)
+
+	// cache memoizes the flattened class chain, merged resource list
+	// and interned quarks (built once, on first instance creation).
+	cacheOnce sync.Once
+	cache     *classCache
 }
+
+// resourceQuarks are the interned symbols for one resource declaration:
+// its instance name, class name and value type. Precomputing them per
+// class means widget creation resolves every resource against the Xrm
+// search list and the converter table without touching the intern
+// table.
+type resourceQuarks struct {
+	nameQ  Quark
+	classQ Quark
+	typeQ  Quark
+}
+
+// classCache holds everything about a class that is recomputed for
+// every instance otherwise.
+type classCache struct {
+	nameQ Quark
+	chain []*Class // root-first (Core ... c)
+
+	// all is the merged resource list in class-chain order, deduped by
+	// name keeping the first (root-most) declaration; allQ is parallel.
+	all  []Resource
+	allQ []resourceQuarks
+
+	// constraints is the constraint chain flattened sub-to-super,
+	// duplicates preserved (the widget spec-merge resolves them exactly
+	// as the per-creation loop used to); constraintsQ is parallel.
+	constraints  []Resource
+	constraintsQ []resourceQuarks
+}
+
+func (c *Class) resCache() *classCache {
+	c.cacheOnce.Do(func() {
+		cc := &classCache{nameQ: StringToQuark(c.Name)}
+		var rev []*Class
+		for k := c; k != nil; k = k.Super {
+			rev = append(rev, k)
+		}
+		cc.chain = make([]*Class, len(rev))
+		for i := range rev {
+			cc.chain[i] = rev[len(rev)-1-i]
+		}
+		seen := map[string]bool{}
+		for _, k := range cc.chain {
+			for _, r := range k.Resources {
+				if seen[r.Name] {
+					continue
+				}
+				seen[r.Name] = true
+				cc.all = append(cc.all, r)
+			}
+		}
+		cc.allQ = internResourceQuarks(cc.all)
+		for k := c; k != nil; k = k.Super {
+			cc.constraints = append(cc.constraints, k.Constraints...)
+		}
+		cc.constraintsQ = internResourceQuarks(cc.constraints)
+		c.cache = cc
+	})
+	return c.cache
+}
+
+func internResourceQuarks(rs []Resource) []resourceQuarks {
+	if len(rs) == 0 {
+		return nil
+	}
+	out := make([]resourceQuarks, len(rs))
+	for i, r := range rs {
+		out[i] = resourceQuarks{
+			nameQ:  StringToQuark(r.Name),
+			classQ: StringToQuark(r.Class),
+			typeQ:  StringToQuark(r.Type),
+		}
+	}
+	return out
+}
+
+// nameQuark returns the interned class name.
+func (c *Class) nameQuark() Quark { return c.resCache().nameQ }
 
 // IsSubclassOf reports whether c is cls or a subclass of it.
 func (c *Class) IsSubclassOf(cls *Class) bool {
@@ -49,35 +139,14 @@ func (c *Class) IsSubclassOf(cls *Class) bool {
 	return false
 }
 
-// chain returns the class chain root-first (Core ... c).
-func (c *Class) chain() []*Class {
-	var rev []*Class
-	for k := c; k != nil; k = k.Super {
-		rev = append(rev, k)
-	}
-	out := make([]*Class, len(rev))
-	for i := range rev {
-		out[i] = rev[len(rev)-1-i]
-	}
-	return out
-}
+// chain returns the memoized class chain root-first (Core ... c).
+// Callers must not mutate the returned slice.
+func (c *Class) chain() []*Class { return c.resCache().chain }
 
 // AllResources returns the full resource list in class-chain order
-// (Core resources first), the order XtGetResourceList reports.
-func (c *Class) AllResources() []Resource {
-	var out []Resource
-	seen := map[string]bool{}
-	for _, k := range c.chain() {
-		for _, r := range k.Resources {
-			if seen[r.Name] {
-				continue
-			}
-			seen[r.Name] = true
-			out = append(out, r)
-		}
-	}
-	return out
-}
+// (Core resources first), the order XtGetResourceList reports. The
+// slice is memoized and shared — callers must not mutate it.
+func (c *Class) AllResources() []Resource { return c.resCache().all }
 
 // actionFor resolves an action name against the class chain (sub-most
 // class wins), returning nil when undefined.

@@ -1,0 +1,62 @@
+package xt
+
+import "sync"
+
+// Quark is an interned symbol for one resource-specification component
+// — a widget name, class name, resource name or resource class
+// (XrmQuark). Interning turns every comparison on the resource-lookup
+// hot path into a small-int equality and every database level into a
+// map keyed by int instead of string.
+type Quark int32
+
+// NullQuark is the reserved zero quark (XrmStringToQuark("") in spirit:
+// no valid component interns to it).
+const NullQuark Quark = 0
+
+// quarkTab is the process-wide intern table, as Xlib's quark table is.
+// A single table lets the package-global widget classes intern their
+// resource lists once and share them across every App. Reads take the
+// shared lock only; interning a new string is the rare path.
+var quarkTab = struct {
+	mu    sync.RWMutex
+	m     map[string]Quark
+	names []string
+}{
+	m:     map[string]Quark{},
+	names: []string{""}, // index 0 is NullQuark
+}
+
+// StringToQuark interns s and returns its quark (XrmStringToQuark).
+// Equal strings always return the same quark; quarks are never
+// released.
+func StringToQuark(s string) Quark {
+	quarkTab.mu.RLock()
+	q, ok := quarkTab.m[s]
+	quarkTab.mu.RUnlock()
+	if ok {
+		return q
+	}
+	quarkTab.mu.Lock()
+	defer quarkTab.mu.Unlock()
+	if q, ok := quarkTab.m[s]; ok {
+		return q
+	}
+	q = Quark(len(quarkTab.names))
+	quarkTab.names = append(quarkTab.names, s)
+	quarkTab.m[s] = q
+	return q
+}
+
+// QuarkToString returns the string a quark was interned from
+// (XrmQuarkToString), or "" for NullQuark and unknown quarks.
+func QuarkToString(q Quark) string {
+	quarkTab.mu.RLock()
+	defer quarkTab.mu.RUnlock()
+	if q <= 0 || int(q) >= len(quarkTab.names) {
+		return ""
+	}
+	return quarkTab.names[q]
+}
+
+// quarkQuestion is the interned '?' wildcard component.
+var quarkQuestion = StringToQuark("?")

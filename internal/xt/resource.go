@@ -68,9 +68,11 @@ type Formatter func(v any) string
 
 // RegisterConverter installs a converter for a resource type,
 // reproducing XtAppAddConverter. Additional converters registered by
-// the Wafe layer (Callback, Pixmap, XmString) use this hook.
+// the Wafe layer (Callback, Pixmap, XmString) use this hook. The type
+// name is interned so widget creation can look converters up by quark.
 func (app *App) RegisterConverter(typeName string, c Converter) {
 	app.converters[typeName] = c
+	app.convertersQ[StringToQuark(typeName)] = c
 }
 
 // RegisterFormatter installs the reverse (value→string) direction.
@@ -81,6 +83,17 @@ func (app *App) RegisterFormatter(typeName string, f Formatter) {
 // Convert applies the registered converter for the type.
 func (app *App) Convert(w *Widget, typeName, value string) (any, error) {
 	c, ok := app.converters[typeName]
+	if !ok {
+		return nil, fmt.Errorf("xt: no converter registered for type %q", typeName)
+	}
+	return c(app, w, value)
+}
+
+// ConvertQ is Convert with the type pre-interned — the widget-creation
+// fast path, fed by the per-class resource quark lists. typeName is
+// only used for the error message.
+func (app *App) ConvertQ(w *Widget, typeQ Quark, typeName, value string) (any, error) {
+	c, ok := app.convertersQ[typeQ]
 	if !ok {
 		return nil, fmt.Errorf("xt: no converter registered for type %q", typeName)
 	}

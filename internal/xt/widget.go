@@ -32,6 +32,15 @@ type Widget struct {
 	// override later Xrm merges).
 	explicit map[string]bool
 
+	// pathQN/pathQC are the interned name/class paths from the
+	// application down ("wafe", "form", "label1"), computed once at
+	// creation — children extend their parent's slices. slist is the
+	// cached Xrm search list for that path; it carries the database
+	// generation it was built at and SearchResource revalidates it on
+	// every use, so mergeResources invalidates it implicitly.
+	pathQN, pathQC []Quark
+	slist          *SearchList
+
 	// Popup state.
 	poppedUp bool
 	grabKind GrabKind
@@ -94,34 +103,60 @@ func (app *App) CreateWidget(name string, class *Class, parent *Widget, args map
 	} else {
 		w.display = app.display
 	}
+	// The quarked naming path extends the parent's cached path; the
+	// search list for it is computed once (usually a cache hit inside
+	// the database) and then serves every resource below.
+	if parent != nil {
+		w.pathQN = append(parent.pathQN[:len(parent.pathQN):len(parent.pathQN)], StringToQuark(name))
+		w.pathQC = append(parent.pathQC[:len(parent.pathQC):len(parent.pathQC)], class.nameQuark())
+	} else {
+		w.pathQN = []Quark{StringToQuark(app.Name), StringToQuark(name)}
+		w.pathQC = []Quark{StringToQuark(app.ClassName), class.nameQuark()}
+	}
+	w.slist = app.DB.SearchListFor(w.pathQN, w.pathQC)
 	// Merge resource specs: class chain, then parent constraint
 	// resources. ordered keeps declaration order, which conversion
 	// below relies on (e.g. fontList must convert before labelString).
-	var ordered []string
-	for _, r := range class.AllResources() {
-		rc := r
-		if _, dup := w.spec[r.Name]; !dup {
-			ordered = append(ordered, r.Name)
-		}
-		w.spec[r.Name] = &rc
+	// Duplicate declarations keep the first position but resolve
+	// through the last (sub-most constraint chain) declaration.
+	type initEntry struct {
+		r *Resource
+		q resourceQuarks
 	}
+	crs := class.AllResources()
+	crq := class.resCache().allQ
+	var ccs []Resource
+	var ccq []resourceQuarks
 	if parent != nil {
-		for k := parent.Class; k != nil; k = k.Super {
-			for _, r := range k.Constraints {
-				rc := r
-				if _, dup := w.spec[r.Name]; !dup {
-					ordered = append(ordered, r.Name)
+		pc := parent.Class.resCache()
+		ccs, ccq = pc.constraints, pc.constraintsQ
+	}
+	ordered := make([]initEntry, 0, len(crs)+len(ccs))
+	for i := range crs {
+		r := &crs[i]
+		w.spec[r.Name] = r
+		ordered = append(ordered, initEntry{r, crq[i]})
+	}
+	for i := range ccs {
+		r := &ccs[i]
+		if _, dup := w.spec[r.Name]; !dup {
+			ordered = append(ordered, initEntry{r, ccq[i]})
+		} else {
+			for j := range ordered {
+				if ordered[j].r.Name == r.Name {
+					ordered[j] = initEntry{r, ccq[i]}
+					break
 				}
-				w.spec[r.Name] = &rc
 			}
 		}
+		w.spec[r.Name] = r
 	}
 	// Initialize every declared resource: args > Xrm database > default.
-	for _, rname := range ordered {
-		r := w.spec[rname]
-		src, fromArgs := args[rname]
+	for i := range ordered {
+		r := ordered[i].r
+		src, fromArgs := args[r.Name]
 		if !fromArgs {
-			if v, ok := app.DB.Query(w.pathNames(), w.pathClasses(), rname, r.Class); ok {
+			if v, ok := app.DB.SearchResource(w.slist, ordered[i].q.nameQ, ordered[i].q.classQ); ok {
 				src = v
 			} else {
 				src = r.Default
@@ -131,15 +166,15 @@ func (app *App) CreateWidget(name string, class *Class, parent *Widget, args map
 		if src == "" && r.Type != TString {
 			val = zeroFor(r.Type)
 		} else {
-			v, err := app.Convert(w, r.Type, src)
+			v, err := app.ConvertQ(w, ordered[i].q.typeQ, r.Type, src)
 			if err != nil {
-				return nil, fmt.Errorf("xt: widget %q resource %q: %v", name, rname, err)
+				return nil, fmt.Errorf("xt: widget %q resource %q: %v", name, r.Name, err)
 			}
 			val = v
 		}
-		w.resources[rname] = &val
+		w.resources[r.Name] = &val
 		if fromArgs {
-			w.explicit[rname] = true
+			w.explicit[r.Name] = true
 		}
 	}
 	// Unknown creation args are an error — they indicate a typo in the

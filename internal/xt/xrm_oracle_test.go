@@ -1,0 +1,312 @@
+package xt
+
+// The legacy flat-list resource matcher, retained verbatim as a test
+// oracle for the quark-tree engine. It scores every entry against the
+// full query path and keeps the lexicographically best score — O(n)
+// per query, but independently derived from the X precedence rules, so
+// agreement between the two engines over random databases is strong
+// evidence the tree search order is right.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+type legacyComponent struct {
+	loose bool
+	name  string
+}
+
+type legacyEntry struct {
+	components []legacyComponent
+	value      string
+	seq        int
+}
+
+type legacyXrm struct {
+	entries []legacyEntry
+}
+
+func (db *legacyXrm) Enter(spec, value string) error {
+	comps, err := legacyParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	e := legacyEntry{components: comps, value: value, seq: len(db.entries)}
+	for i, old := range db.entries {
+		if legacySpecEqual(old.components, comps) {
+			e.seq = old.seq
+			db.entries[i] = e
+			return nil
+		}
+	}
+	db.entries = append(db.entries, e)
+	return nil
+}
+
+func legacySpecEqual(a, b []legacyComponent) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func legacyParseSpec(spec string) ([]legacyComponent, error) {
+	var comps []legacyComponent
+	loose := false
+	cur := strings.Builder{}
+	flush := func() {
+		if cur.Len() > 0 {
+			comps = append(comps, legacyComponent{loose: loose, name: cur.String()})
+			cur.Reset()
+			loose = false
+		}
+	}
+	for i := 0; i < len(spec); i++ {
+		switch spec[i] {
+		case '.':
+			flush()
+		case '*':
+			flush()
+			loose = true
+		case ' ', '\t':
+		default:
+			cur.WriteByte(spec[i])
+		}
+	}
+	flush()
+	if len(comps) == 0 {
+		return nil, fmt.Errorf("xt: empty resource specification %q", spec)
+	}
+	return comps, nil
+}
+
+func (db *legacyXrm) Query(names, classes []string, resName, resClass string) (string, bool) {
+	pathN := append(append([]string(nil), names...), resName)
+	pathC := append(append([]string(nil), classes...), resClass)
+	bestScore := []int(nil)
+	bestSeq := -1
+	value := ""
+	found := false
+	for _, e := range db.entries {
+		score, ok := legacyMatchEntry(e.components, pathN, pathC)
+		if !ok {
+			continue
+		}
+		if bestScore == nil || legacyCompareScores(score, bestScore) > 0 ||
+			(legacyCompareScores(score, bestScore) == 0 && e.seq > bestSeq) {
+			bestScore = score
+			bestSeq = e.seq
+			value = e.value
+			found = true
+		}
+	}
+	return value, found
+}
+
+func legacyMatchEntry(comps []legacyComponent, names, classes []string) ([]int, bool) {
+	L := len(names)
+	score := make([]int, L)
+	var rec func(ci, li int) bool
+	rec = func(ci, li int) bool {
+		if ci == len(comps) {
+			return li == L
+		}
+		c := comps[ci]
+		if li >= L {
+			return false
+		}
+		tryMatch := func(at int) bool {
+			var s int
+			switch {
+			case c.name == names[at]:
+				s = 3
+			case c.name == classes[at]:
+				s = 2
+			case c.name == "?":
+				s = 1
+			default:
+				return false
+			}
+			if !c.loose {
+				s += 4
+			}
+			for k := li; k < at; k++ {
+				score[k] = 0
+			}
+			score[at] = s
+			return rec(ci+1, at+1)
+		}
+		if c.loose {
+			lim := L - 1
+			if ci < len(comps)-1 {
+				lim = L - 1 - (len(comps) - 1 - ci)
+			}
+			for at := li; at <= lim; at++ {
+				if ci == len(comps)-1 && at != L-1 {
+					continue
+				}
+				saved := append([]int(nil), score...)
+				if tryMatch(at) {
+					return true
+				}
+				copy(score, saved)
+			}
+			return false
+		}
+		if ci == len(comps)-1 && li != L-1 {
+			return false
+		}
+		return tryMatch(li)
+	}
+	if !rec(0, 0) {
+		return nil, false
+	}
+	return score, true
+}
+
+func legacyCompareScores(a, b []int) int {
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] > b[i] {
+				return 1
+			}
+			return -1
+		}
+	}
+	return 0
+}
+
+// --- differential tests -----------------------------------------------------
+
+// TestXrmDifferentialTargeted pins the tricky cases by hand: loose
+// bindings first, '?' wildcards tight and loose, single-component loose
+// entries, and the tight-beats-loose / name-beats-class orderings.
+func TestXrmDifferentialTargeted(t *testing.T) {
+	specs := []string{
+		"*foreground",
+		"*Foreground",
+		"*?.foreground",
+		"?.form.foreground",
+		"wafe*foreground",
+		"wafe.form.label.foreground",
+		"wafe.form.label.Foreground",
+		"Wafe*Label.foreground",
+		"Wafe*label.foreground",
+		"*Form*foreground",
+		"*form.?.foreground",
+		"wafe*?.Foreground",
+		"*InitCom",
+	}
+	oracle := &legacyXrm{}
+	tree := NewXrm()
+	for i, s := range specs {
+		v := fmt.Sprintf("v%d", i)
+		if err := oracle.Enter(s, v); err != nil {
+			t.Fatalf("oracle.Enter(%q): %v", s, err)
+		}
+		if err := tree.Enter(s, v); err != nil {
+			t.Fatalf("tree.Enter(%q): %v", s, err)
+		}
+	}
+	queries := []struct {
+		names, classes    []string
+		resName, resClass string
+	}{
+		{[]string{"wafe", "form", "label"}, []string{"Wafe", "Form", "Label"}, "foreground", "Foreground"},
+		{[]string{"wafe", "form"}, []string{"Wafe", "Form"}, "foreground", "Foreground"},
+		{[]string{"wafe"}, []string{"Wafe"}, "foreground", "Foreground"},
+		{[]string{"wafe"}, []string{"Wafe"}, "InitCom", "InitCom"},
+		{[]string{"wafe", "box", "label"}, []string{"Wafe", "Box", "Label"}, "foreground", "Foreground"},
+		{[]string{"other", "form", "x"}, []string{"Other", "Form", "X"}, "foreground", "Foreground"},
+		{[]string{"wafe", "form", "label"}, []string{"Wafe", "Form", "Label"}, "background", "Background"},
+	}
+	for _, q := range queries {
+		wantV, wantOK := oracle.Query(q.names, q.classes, q.resName, q.resClass)
+		gotV, gotOK := tree.Query(q.names, q.classes, q.resName, q.resClass)
+		if gotV != wantV || gotOK != wantOK {
+			t.Errorf("Query(%v,%v,%q,%q) = (%q,%v), oracle (%q,%v)",
+				q.names, q.classes, q.resName, q.resClass, gotV, gotOK, wantV, wantOK)
+		}
+	}
+}
+
+// TestXrmDifferentialRandom drives both engines with random databases
+// and random query paths. Specifications are deduplicated before entry
+// so replacement semantics (where the engines intentionally differ,
+// see TestXrmReplaceTakesCurrentPriority) stay out of scope; with
+// distinct specs the engines must agree exactly.
+func TestXrmDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// Deliberately tiny alphabet with name/class collisions ("w" is
+	// both a path name and, via the query below, sometimes a class).
+	atoms := []string{"a", "b", "c", "A", "B", "C", "?", "w", "Form"}
+	randSpec := func() string {
+		n := 1 + rng.Intn(4)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				b.WriteByte('*')
+			} else if i > 0 {
+				b.WriteByte('.')
+			}
+			b.WriteString(atoms[rng.Intn(len(atoms))])
+		}
+		return b.String()
+	}
+	for round := 0; round < 200; round++ {
+		oracle := &legacyXrm{}
+		tree := NewXrm()
+		used := map[string]bool{}
+		nEntries := 1 + rng.Intn(12)
+		for len(used) < nEntries {
+			s := randSpec()
+			// Normalize to the parsed form so ".a" vs "a" style
+			// duplicates cannot slip through the dedup.
+			comps, err := legacyParseSpec(s)
+			if err != nil {
+				continue
+			}
+			key := fmt.Sprint(comps)
+			if used[key] {
+				continue
+			}
+			used[key] = true
+			v := fmt.Sprintf("r%d.%d", round, len(used))
+			if err := oracle.Enter(s, v); err != nil {
+				t.Fatalf("oracle.Enter(%q): %v", s, err)
+			}
+			if err := tree.Enter(s, v); err != nil {
+				t.Fatalf("tree.Enter(%q): %v", s, err)
+			}
+		}
+		for q := 0; q < 30; q++ {
+			depth := 1 + rng.Intn(4)
+			names := make([]string, depth-1)
+			classes := make([]string, depth-1)
+			for i := range names {
+				names[i] = atoms[rng.Intn(len(atoms))]
+				if rng.Intn(4) == 0 {
+					classes[i] = names[i] // name == class at this level
+				} else {
+					classes[i] = atoms[rng.Intn(len(atoms))]
+				}
+			}
+			resName := atoms[rng.Intn(len(atoms))]
+			resClass := atoms[rng.Intn(len(atoms))]
+			wantV, wantOK := oracle.Query(names, classes, resName, resClass)
+			gotV, gotOK := tree.Query(names, classes, resName, resClass)
+			if gotV != wantV || gotOK != wantOK {
+				t.Fatalf("round %d: Query(%v,%v,%q,%q) = (%q,%v), oracle (%q,%v)",
+					round, names, classes, resName, resClass, gotV, gotOK, wantV, wantOK)
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@
 # Usage: scripts/bench.sh [go-test-bench-regexp]
 #        scripts/bench.sh obs [go-test-bench-regexp]
 #        scripts/bench.sh supervise
+#        scripts/bench.sh xrm
 # Environment: COUNT (default 3), BENCHTIME (default 1s),
 # BENCHTIME_F5 (default 140000x), NOISE_PCT (default 15, supervise
 # mode only).
@@ -78,6 +79,86 @@ if [ "${1:-}" = "supervise" ]; then
         printf "supervise: within the %s%% noise bound\n", noise
     }' BENCH_obs.json -
     exit $?
+fi
+
+# The `xrm` mode guards the quark-tree resource database: it runs the
+# resource-path benchmarks, joins them against the BENCH_eval.json seed
+# (recorded with the flat-list matcher) into BENCH_xrm.json, and gates
+# on the acceptance bounds — the cached Query path must allocate 0 B/op,
+# XrmScale/entries=512 must sit within 3x of entries=4 per lookup, and
+# BuildAndRealizeTree must allocate at most 75 % of the seed.
+if [ "${1:-}" = "xrm" ]; then
+    count="${COUNT:-3}"
+    benchtime="${BENCHTIME:-1s}"
+    status=0
+    out=$(go test -bench 'BenchmarkAblation_XrmScale|BenchmarkXrm_|BenchmarkC1_GetResourceList|BenchmarkC12_ResourceQuery|BenchmarkF1_BuildAndRealizeTree|BenchmarkWidgetCreation_WafeVsDirect' \
+        -benchmem -benchtime "$benchtime" -count "$count" -run '^$' .)
+    printf '%s\n' "$out"
+    printf '%s\n' "$out" | awk '
+    FNR == NR {
+        if (match($0, /^  "[^"]+"/)) {
+            name = substr($0, 4, RLENGTH - 4)
+            if (match($0, /"ns_per_op": [0-9.]+/))
+                seedns[name] = substr($0, RSTART + 13, RLENGTH - 13) + 0
+            if (match($0, /"allocs_per_op": [0-9.]+/))
+                seedal[name] = substr($0, RSTART + 17, RLENGTH - 17) + 0
+        }
+        next
+    }
+    /^Benchmark/ {
+        nm = $1
+        sub(/-[0-9]+$/, "", nm)
+        ns[nm] += $3; n[nm]++
+        for (i = 4; i < NF; i++) {
+            if ($(i+1) == "B/op")      b[nm] += $i
+            if ($(i+1) == "allocs/op") a[nm] += $i
+        }
+        if (!(nm in order)) { order[nm] = ++cnt; names[cnt] = nm }
+    }
+    END {
+        printf "{\n"
+        for (i = 1; i <= cnt; i++) {
+            k = names[i]
+            cur = ns[k] / n[k]; cb = b[k] / n[k]; ca = a[k] / n[k]
+            if (k in seedns && seedns[k] > 0)
+                printf "  \"%s\": {\"ns_per_op\": %.1f, \"bytes_per_op\": %.1f, \"allocs_per_op\": %.1f, \"seed_ns_per_op\": %.1f, \"seed_allocs_per_op\": %.1f, \"ns_delta_pct\": %.2f},\n", \
+                    k, cur, cb, ca, seedns[k], seedal[k], (cur - seedns[k]) / seedns[k] * 100
+            else
+                printf "  \"%s\": {\"ns_per_op\": %.1f, \"bytes_per_op\": %.1f, \"allocs_per_op\": %.1f, \"seed_ns_per_op\": null, \"seed_allocs_per_op\": null, \"ns_delta_pct\": null},\n", \
+                    k, cur, cb, ca
+        }
+        fail = 0
+        q = "BenchmarkXrm_CachedQuery"
+        if (!(q in ns)) { print "xrm: missing " q > "/dev/stderr"; fail = 1 }
+        else if (b[q] / n[q] != 0) {
+            printf "xrm: FAIL %s allocates %.1f B/op on the cache-hit path (want 0)\n", q, b[q] / n[q] > "/dev/stderr"; fail = 1
+        } else
+            printf "xrm: cache-hit query path allocates 0 B/op\n" > "/dev/stderr"
+        s4 = "BenchmarkAblation_XrmScale/entries=4"
+        s512 = "BenchmarkAblation_XrmScale/entries=512"
+        if (!(s4 in ns) || !(s512 in ns)) { print "xrm: missing XrmScale results" > "/dev/stderr"; fail = 1 }
+        else {
+            ratio = (ns[s512] / n[s512]) / (ns[s4] / n[s4])
+            if (ratio > 3) {
+                printf "xrm: FAIL entries=512 is %.1fx entries=4 per lookup (want <= 3x)\n", ratio > "/dev/stderr"; fail = 1
+            } else
+                printf "xrm: entries=512 runs at %.2fx of entries=4 per lookup (bound 3x)\n", ratio > "/dev/stderr"
+        }
+        f1 = "BenchmarkF1_BuildAndRealizeTree"
+        if (!(f1 in a) || !(f1 in seedal)) { print "xrm: missing " f1 " result or seed" > "/dev/stderr"; fail = 1 }
+        else {
+            cur = a[f1] / n[f1]
+            if (cur > 0.75 * seedal[f1]) {
+                printf "xrm: FAIL %s allocs %.0f/op vs seed %.0f (want <= 75%%)\n", f1, cur, seedal[f1] > "/dev/stderr"; fail = 1
+            } else
+                printf "xrm: BuildAndRealizeTree allocs %.0f/op vs seed %.0f/op (%.0f%%)\n", cur, seedal[f1], cur / seedal[f1] * 100 > "/dev/stderr"
+        }
+        printf "  \"_gate\": \"%s\"\n}\n", (fail ? "FAIL" : "OK")
+        exit fail
+    }' BENCH_eval.json - > BENCH_xrm.json || status=$?
+    cat BENCH_xrm.json
+    echo "wrote BENCH_xrm.json"
+    exit $status
 fi
 
 pattern="${1:-.}"

@@ -1,8 +1,11 @@
 #!/bin/sh
 # verify.sh — the tier-1 gate plus static analysis and the race
 # detector over the packages where concurrency lives: the compiled-
-# script pipeline, the event loop and the pipe protocol (whose metrics
-# are written from the loop and snapshotted from anywhere).
+# script pipeline, the event loop, the pipe protocol (whose metrics
+# are written from the loop and snapshotted from anywhere), and the
+# resource database (quark intern table, generation counter and
+# search-list cache, written by mergeResources while widget creation
+# reads).
 set -e
 cd "$(dirname "$0")/.."
 
@@ -19,11 +22,13 @@ echo "== go test -race ./internal/tcl/ ./internal/core/ ./internal/xt/ ./interna
 go test -race ./internal/tcl/ ./internal/core/ ./internal/xt/ ./internal/frontend/... ./internal/obs/
 
 # The fault-injection suite drives the supervisor and the pipe loop
-# through crash, hang, overlong-line and broken-pipe scenarios; run it
+# through crash, hang, overlong-line and broken-pipe scenarios;
+# TestXrmConcurrent hammers the quark intern table and the database
+# generation counter with mergeResources racing widget creation. Run
 # by name so a renamed test cannot silently drop out of the gate.
-echo "== go test -race fault injection + supervision"
+echo "== go test -race fault injection + supervision + xrm concurrency"
 go test -race -count 1 \
-    -run 'TestSupervisor|TestShutdown|TestReadError|TestOverlong|TestPostFrom|TestTimerRemoved' \
+    -run 'TestSupervisor|TestShutdown|TestReadError|TestOverlong|TestPostFrom|TestTimerRemoved|TestXrmConcurrent' \
     ./internal/xt/ ./internal/frontend/
 
 echo "verify: OK"
