@@ -1,0 +1,132 @@
+// Command wafecheck is a static linter for Wafe scripts. It reuses
+// the internal/tcl parser and the command-metadata registry the core
+// populates, so every diagnostic reflects what the wafe binary itself
+// would accept.
+//
+// Usage:
+//
+//	wafecheck [-set athena|motif|both] [path ...]
+//	some-generator | wafecheck -
+//
+// Paths may be .wafe scripts, Go files with embedded scripts, or
+// directories (walked recursively for both). "-" reads a script from
+// stdin, so application programs can pre-validate generated scripts
+// before sending them over the pipe protocol. Exit status is 1 when
+// any diagnostic is reported, 2 on usage or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"wafe/internal/analysis"
+)
+
+func main() {
+	set := flag.String("set", "both", "widget set to check against: athena, motif or both")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wafecheck [-set athena|motif|both] [path ...]\n")
+		fmt.Fprintf(os.Stderr, "       wafecheck -   (read script from stdin)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	table, err := analysis.NewTable(*set)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wafecheck:", err)
+		os.Exit(2)
+	}
+	checker := analysis.NewChecker(table)
+	// The file frontend registers these for every script it runs.
+	checker.Extra = []string{"getChannel", "setCommunicationVariable"}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	found := false
+	fail := false
+	emit := func(ds []analysis.Diagnostic) {
+		for _, d := range ds {
+			fmt.Println(d.String())
+			found = true
+		}
+	}
+
+	for _, arg := range args {
+		if arg == "-" {
+			src, err := io.ReadAll(os.Stdin)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wafecheck: stdin:", err)
+				fail = true
+				continue
+			}
+			emit(checker.CheckScript("<stdin>", string(src)))
+			continue
+		}
+		info, err := os.Stat(arg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wafecheck:", err)
+			fail = true
+			continue
+		}
+		if info.IsDir() {
+			err := filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if d.IsDir() {
+					if name := d.Name(); name == "testdata" || strings.HasPrefix(name, ".") && path != arg {
+						return fs.SkipDir
+					}
+					return nil
+				}
+				switch filepath.Ext(path) {
+				case ".wafe", ".go":
+					return checkFile(checker, path, emit)
+				}
+				return nil
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wafecheck:", err)
+				fail = true
+			}
+			continue
+		}
+		if err := checkFile(checker, arg, emit); err != nil {
+			fmt.Fprintln(os.Stderr, "wafecheck:", err)
+			fail = true
+		}
+	}
+
+	if fail {
+		os.Exit(2)
+	}
+	if found {
+		os.Exit(1)
+	}
+}
+
+func checkFile(c *analysis.Checker, path string, emit func([]analysis.Diagnostic)) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if filepath.Ext(path) == ".go" {
+		ds, err := c.CheckGoFile(path, src)
+		if err != nil {
+			return err
+		}
+		emit(ds)
+		return nil
+	}
+	emit(c.CheckScript(path, string(src)))
+	return nil
+}

@@ -1,0 +1,162 @@
+// Package analysis implements the static-analysis layer over Wafe:
+// wafecheck, a linter for .wafe scripts that reuses the internal/tcl
+// parser and the command-metadata registry populated by the core, and
+// wafevet, a go/types-based analyzer enforcing the repo's runtime
+// invariants (vet.go).
+//
+// Both tools report Diagnostics in the canonical
+// "file:line:col: [rule] message" form and exit nonzero when any are
+// found.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wafe/internal/core"
+	"wafe/internal/tcl"
+	"wafe/internal/xt"
+)
+
+// Diagnostic is one finding, anchored at a 1-based line/column.
+type Diagnostic struct {
+	File string
+	Line int
+	Col  int
+	Rule string
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Rule, d.Msg)
+}
+
+// SortDiagnostics orders findings by file, then position, then rule —
+// the stable order the golden tests and CI output rely on.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+}
+
+// Table is the command knowledge wafecheck checks scripts against. It
+// is built from a live core.Wafe instance, so the linter can never
+// drift from what the binary actually registers: the command set, the
+// per-command metadata (arity, options, subcommands, script/expr/var
+// argument positions), the creation commands with their widget
+// classes, and the resource name→type maps.
+type Table struct {
+	// Commands holds every registered command name.
+	Commands map[string]bool
+	// Metas holds the metadata registry (tcl builtins + core commands +
+	// creation commands).
+	Metas map[string]tcl.CommandMeta
+	// Classes maps creation-command name → widget class.
+	Classes map[string]*xt.Class
+	// ResTypes maps class name → resource name → resource type for
+	// every class in the widget set (own + inherited resources).
+	ResTypes map[string]map[string]string
+	// UnionRes maps resource name → type across all classes, for
+	// widgets whose class cannot be determined statically.
+	UnionRes map[string]string
+	// UnionConstraints maps constraint resource name → type across all
+	// classes (fromVert, fromHoriz and friends), used when the parent
+	// is unknown.
+	UnionConstraints map[string]string
+	// Constraints maps class name → constraint resource name → type:
+	// what the class provides for its children.
+	Constraints map[string]map[string]string
+	// TopLevelClass is the class of the predefined "topLevel" widget.
+	TopLevelClass *xt.Class
+}
+
+// NewTable builds the table for a widget set ("athena", "motif" or
+// "both"). It instantiates a headless core.Wafe, so the table always
+// reflects the real registration code paths.
+func NewTable(set string) (*Table, error) {
+	var ws core.WidgetSet
+	switch set {
+	case "athena":
+		ws = core.SetAthena
+	case "motif":
+		ws = core.SetMotif
+	case "both", "":
+		ws = core.SetBoth
+	default:
+		return nil, fmt.Errorf("unknown widget set %q (want athena, motif or both)", set)
+	}
+	w, err := core.New(core.Config{TestDisplay: true, Set: ws})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Commands:         make(map[string]bool),
+		Metas:            make(map[string]tcl.CommandMeta),
+		Classes:          w.CreationClasses(),
+		ResTypes:         make(map[string]map[string]string),
+		UnionRes:         make(map[string]string),
+		UnionConstraints: make(map[string]string),
+		Constraints:      make(map[string]map[string]string),
+		TopLevelClass:    xt.ApplicationShellClass,
+	}
+	for _, name := range w.Interp.CommandNames() {
+		t.Commands[name] = true
+	}
+	for _, m := range w.Interp.CommandMetas() {
+		t.Metas[m.Name] = m
+	}
+	classes := []*xt.Class{xt.ApplicationShellClass}
+	for _, c := range t.Classes {
+		classes = append(classes, c)
+	}
+	for _, c := range classes {
+		if _, done := t.ResTypes[c.Name]; done {
+			continue
+		}
+		rm := make(map[string]string)
+		for _, r := range c.AllResources() {
+			rm[r.Name] = r.Type
+			if _, ok := t.UnionRes[r.Name]; !ok {
+				t.UnionRes[r.Name] = r.Type
+			}
+		}
+		t.ResTypes[c.Name] = rm
+		cm := make(map[string]string)
+		for _, r := range c.AllConstraints() {
+			cm[r.Name] = r.Type
+			if _, ok := t.UnionConstraints[r.Name]; !ok {
+				t.UnionConstraints[r.Name] = r.Type
+			}
+		}
+		t.Constraints[c.Name] = cm
+	}
+	return t, nil
+}
+
+// IsCallbackType reports whether a resource type is a callback list.
+func IsCallbackType(typ string) bool { return typ == xt.TCallback }
+
+// lastSpecComponent returns the final component of a resource spec
+// ("*paned.hits.callback" → "callback"), which is the resource name
+// the database entry binds.
+func lastSpecComponent(spec string) string {
+	last := spec
+	for {
+		i := strings.IndexAny(last, ".*")
+		if i < 0 {
+			return last
+		}
+		last = last[i+1:]
+	}
+}

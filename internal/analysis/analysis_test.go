@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func newTestChecker(t *testing.T) *Checker {
+	t.Helper()
+	table, err := NewTable("both")
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	c := NewChecker(table)
+	c.Extra = []string{"getChannel", "setCommunicationVariable"}
+	return c
+}
+
+// TestGolden checks every seeded bad script against its recorded
+// diagnostics: at least one finding per script, at the exact
+// file:line:col the golden pins down.
+func TestGolden(t *testing.T) {
+	c := newTestChecker(t)
+	scripts, err := filepath.Glob("testdata/bad_*.wafe")
+	if err != nil || len(scripts) == 0 {
+		t.Fatalf("no testdata scripts: %v", err)
+	}
+	for _, path := range scripts {
+		name := filepath.Base(path)
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden, err := os.ReadFile(strings.TrimSuffix(path, ".wafe") + ".diag")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got strings.Builder
+			ds := c.CheckScript(name, string(src))
+			if len(ds) == 0 {
+				t.Fatalf("%s: expected diagnostics, got none", name)
+			}
+			for _, d := range ds {
+				got.WriteString(d.String())
+				got.WriteString("\n")
+			}
+			if got.String() != string(golden) {
+				t.Errorf("%s diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", name, got.String(), golden)
+			}
+		})
+	}
+}
+
+// TestShippedScriptsClean asserts wafecheck reports nothing on the
+// demos and the example programs' embedded scripts.
+func TestShippedScriptsClean(t *testing.T) {
+	c := newTestChecker(t)
+	demos, err := filepath.Glob("../../demos/*.wafe")
+	if err != nil || len(demos) == 0 {
+		t.Fatalf("no demos found: %v", err)
+	}
+	for _, path := range demos {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range c.CheckScript(path, string(src)) {
+			t.Errorf("demo not clean: %s", d)
+		}
+	}
+	goFiles, err := filepath.Glob("../../examples/*/main.go")
+	if err != nil || len(goFiles) == 0 {
+		t.Fatalf("no examples found: %v", err)
+	}
+	for _, path := range goFiles {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := c.CheckGoFile(path, src)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		for _, d := range ds {
+			t.Errorf("example not clean: %s", d)
+		}
+	}
+}
+
+// TestEmbeddedScriptPositions asserts a finding inside a Go raw
+// string is reported at its absolute file position.
+func TestEmbeddedScriptPositions(t *testing.T) {
+	c := newTestChecker(t)
+	src := []byte(`package p
+
+var w interface{ Eval(string) (string, error) }
+
+const script = ` + "`" + `
+realize
+bogusCmd here
+` + "`" + `
+`)
+	ds, err := c.CheckGoFile("embed.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].Rule != "unknown-command" {
+		t.Fatalf("want one unknown-command finding, got %v", ds)
+	}
+	if ds[0].Line != 7 || ds[0].Col != 1 {
+		t.Errorf("finding at %d:%d, want 7:1", ds[0].Line, ds[0].Col)
+	}
+}
+
+// TestGoFileHeuristics asserts prose strings, printf formats and
+// non-Eval quoted strings are not linted, while Eval arguments are.
+func TestGoFileHeuristics(t *testing.T) {
+	c := newTestChecker(t)
+	src := []byte(`package p
+
+import "fmt"
+
+type W struct{}
+
+func (W) Eval(s string) (string, error) { return "", nil }
+
+func f(w W) {
+	fmt.Printf("set %s value", "x")          // printf format: skipped
+	_ = "read the docs before continuing"    // prose: skipped
+	_ = "set quit callback quit"             // app DSL, not an Eval arg: skipped
+	w.Eval("realizee")                       // Eval arg: linted
+}
+`)
+	ds, err := c.CheckGoFile("heur.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].Rule != "unknown-command" || !strings.Contains(ds[0].Msg, "realizee") {
+		t.Fatalf("want exactly the Eval-arg finding, got %v", ds)
+	}
+}
+
+// TestRegisterCommandExtendsTable asserts commands the program
+// registers via RegisterCommand are known in its scripts.
+func TestRegisterCommandExtendsTable(t *testing.T) {
+	c := newTestChecker(t)
+	src := []byte(`package p
+
+type I struct{}
+
+func (I) RegisterCommand(name string, fn func()) {}
+func (I) Eval(s string) (string, error)          { return "", nil }
+
+func f(in I) {
+	in.RegisterCommand("visit", func() {})
+	in.Eval("visit /tmp")
+}
+`)
+	ds, err := c.CheckGoFile("reg.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 0 {
+		t.Fatalf("registered command flagged: %v", ds)
+	}
+}
+
+// TestVetFixture runs the wafevet engine over the fixture package and
+// compares against its "// want rule" markers exactly.
+func TestVetFixture(t *testing.T) {
+	want := make(map[string]bool) // "line:rule"
+	src, err := os.ReadFile("testdata/vetfixture/fixture.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRe := regexp.MustCompile(`// want (\S+)`)
+	for i, line := range strings.Split(string(src), "\n") {
+		if m := wantRe.FindStringSubmatch(line); m != nil {
+			want[strconv.Itoa(i+1)+":"+m[1]] = true
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("fixture has no want markers")
+	}
+	v := NewVet("../..")
+	ds, err := v.CheckDir("testdata/vetfixture")
+	if err != nil {
+		t.Fatalf("CheckDir: %v", err)
+	}
+	got := make(map[string]bool)
+	for _, d := range ds {
+		got[strconv.Itoa(d.Line)+":"+d.Rule] = true
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("missing expected finding %s", k)
+		}
+	}
+	for _, d := range ds {
+		if !want[strconv.Itoa(d.Line)+":"+d.Rule] {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+}
+
+// TestVetInternalClean mirrors the CI gate: the analyzer must report
+// nothing across the repo's internal packages.
+func TestVetInternalClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks every internal package; skipped in -short")
+	}
+	v := NewVet("../..")
+	dirs, err := filepath.Glob("../../internal/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range dirs {
+		fi, err := os.Stat(dir)
+		if err != nil || !fi.IsDir() || filepath.Base(dir) == "testdata" {
+			continue
+		}
+		ds, err := v.CheckDir(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, d := range ds {
+			t.Errorf("internal not clean: %s", d)
+		}
+	}
+}
+
+// TestIgnoreDirective checks both directive shapes inline.
+func TestIgnoreDirective(t *testing.T) {
+	c := newTestChecker(t)
+	src := "# wafecheck:ignore unknown-command\nfoo bar\nbaz qux\n"
+	ds := c.CheckScript("x.wafe", src)
+	if len(ds) != 1 || !strings.Contains(ds[0].Msg, "baz") {
+		t.Fatalf("directive should suppress only the next line, got %v", ds)
+	}
+}
+
+// TestTableReflectsWidgetSet asserts set selection changes the table.
+func TestTableReflectsWidgetSet(t *testing.T) {
+	athena, err := NewTable("athena")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := athena.Classes["command"]; !ok {
+		t.Error("athena table missing command creation class")
+	}
+	if _, ok := athena.Classes["mPushButton"]; ok {
+		t.Error("athena table unexpectedly has Motif classes")
+	}
+	if _, err := NewTable("bogus"); err == nil {
+		t.Error("bogus widget set accepted")
+	}
+}

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"strings"
+
+	"wafe/internal/tcl"
+)
+
+// CheckGoFile extracts Wafe scripts embedded in a Go source file and
+// lints each one. A string literal is treated as a script when its
+// first command's first word is a known command — which skips
+// translation tables, regexps and other incidental strings. Literals
+// in the format-argument position of printf-style calls (callee name
+// ending in 'f') are skipped: their %s/%d verbs are substitution
+// slots, not Wafe percent codes.
+//
+// Commands the program registers itself (w.Interp.RegisterCommand
+// calls with a literal name) are added to the known-command set
+// before any script is checked.
+func (c *Checker) CheckGoFile(filename string, src []byte) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	af, err := parser.ParseFile(fset, filename, src, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	var extra []string
+	skip := make(map[*ast.BasicLit]bool)
+	evalArg := make(map[*ast.BasicLit]bool)
+	for _, imp := range af.Imports {
+		skip[imp.Path] = true
+	}
+	ast.Inspect(af, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		if name == "RegisterCommand" && len(call.Args) >= 1 {
+			if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+				if s, err := strconv.Unquote(lit.Value); err == nil {
+					extra = append(extra, s)
+				}
+			}
+		}
+		if strings.HasSuffix(name, "f") {
+			for _, a := range call.Args {
+				if lit, ok := a.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					skip[lit] = true
+				}
+			}
+		}
+		if evalCallees[name] {
+			for _, a := range call.Args {
+				if lit, ok := a.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					evalArg[lit] = true
+				}
+			}
+		}
+		return true
+	})
+
+	var diags []Diagnostic
+	ast.Inspect(af, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING || skip[lit] {
+			return true
+		}
+		// Arguments of Eval-like calls are scripts by definition and
+		// always linted. Other raw strings are linted when they look
+		// like a script; other interpreted ("...") strings never are —
+		// prose, widget names and app-private DSL strings otherwise
+		// trigger false positives.
+		if !evalArg[lit] && lit.Value[0] != '`' {
+			return true
+		}
+		content, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		if !evalArg[lit] && !c.looksLikeScript(content, extra) {
+			return true
+		}
+		var at func(off int) (int, int)
+		if lit.Value[0] == '`' {
+			// Raw string: content is a verbatim slice of the file
+			// starting one byte after the opening backtick.
+			tf := fset.File(lit.Pos())
+			base := tf.Offset(lit.Pos()) + 1
+			at = func(off int) (int, int) {
+				p := fset.Position(tf.Pos(base + off))
+				return p.Line, p.Column
+			}
+		} else {
+			// Interpreted string: escapes shift offsets, anchor
+			// everything at the literal.
+			p := fset.Position(lit.Pos())
+			at = func(int) (int, int) { return p.Line, p.Column }
+		}
+		diags = append(diags, c.CheckEmbedded(filename, content, at, extra)...)
+		return true
+	})
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// evalCallees are function names whose string arguments are executed
+// as Wafe scripts.
+var evalCallees = map[string]bool{
+	"Eval": true, "EvalScript": true, "RunScript": true, "must": true,
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// looksLikeScript reports whether a string literal's first command
+// names a known Wafe/Tcl command or a proc defined in the string.
+func (c *Checker) looksLikeScript(content string, extra []string) bool {
+	s, err := tcl.Compile(content)
+	if err != nil || s == nil {
+		return false
+	}
+	cmds := s.Commands()
+	if len(cmds) == 0 || len(cmds[0].Words) == 0 {
+		return false
+	}
+	name, ok := cmds[0].Words[0].Literal()
+	if !ok {
+		return false
+	}
+	if c.T.Commands[name] {
+		return true
+	}
+	if _, isMeta := c.T.Metas[name]; isMeta {
+		return true
+	}
+	for _, e := range extra {
+		if e == name {
+			return true
+		}
+	}
+	for _, e := range c.Extra {
+		if e == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,783 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Vet is the wafevet engine: a go/types-based analyzer (stdlib only,
+// fully offline) that encodes runtime invariants of this repository:
+//
+//	nilguard   — *obs.X metric pointers are optional (nil when
+//	             observability is off) and must be nil-checked before
+//	             any selector use.
+//	lockedeval — no mutex may be held across Interp.Eval/EvalScript:
+//	             scripts run arbitrary callbacks that may re-enter the
+//	             locked component and deadlock.
+//	checkscan  — errors from strconv.Parse*/Atoi and fmt.Sscan* must
+//	             not be silently discarded.
+//	atomics    — a field accessed through sync/atomic in one place
+//	             must never be read or written plainly elsewhere.
+//
+// Findings on a line (or the line below) a "//wafevet:ignore rule"
+// comment are suppressed.
+type Vet struct {
+	root string // module root (directory containing the wafe packages)
+	fset *token.FileSet
+	imp  *vetImporter
+}
+
+const modulePath = "wafe"
+
+// obsPkgPath is the package whose exported pointer types the nilguard
+// rule tracks.
+const obsPkgPath = modulePath + "/internal/obs"
+
+// NewVet creates an analyzer rooted at the repository's module root.
+func NewVet(root string) *Vet {
+	fset := token.NewFileSet()
+	v := &Vet{root: root, fset: fset}
+	v.imp = &vetImporter{
+		fset: fset,
+		root: root,
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: make(map[string]*types.Package),
+	}
+	return v
+}
+
+// vetImporter resolves module-internal import paths against the repo
+// source tree (go/build alone is not module-aware) and everything
+// else through the stdlib source importer, so the analyzer needs no
+// network, GOPATH layout or precompiled export data.
+type vetImporter struct {
+	fset *token.FileSet
+	root string
+	std  types.Importer
+	pkgs map[string]*types.Package
+}
+
+func (im *vetImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.pkgs[path]; ok {
+		return p, nil
+	}
+	if path == modulePath || strings.HasPrefix(path, modulePath+"/") {
+		dir := filepath.Join(im.root, strings.TrimPrefix(path, modulePath))
+		pkg, _, _, err := im.load(path, dir, nil)
+		if err != nil {
+			return nil, err
+		}
+		im.pkgs[path] = pkg
+		return pkg, nil
+	}
+	p, err := im.std.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	im.pkgs[path] = p
+	return p, nil
+}
+
+// load parses and type-checks the package in dir. When info is
+// non-nil the type-checker fills it (used for the package under
+// analysis; dependencies skip it).
+func (im *vetImporter) load(path, dir string, info *types.Info) (*types.Package, []*ast.File, *build.Package, error) {
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(im.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: im, Error: func(error) {}}
+	pkg, err := conf.Check(path, im.fset, files, info)
+	if pkg == nil {
+		return nil, nil, nil, err
+	}
+	return pkg, files, bp, nil
+}
+
+// CheckDir analyzes the package in dir (relative or absolute) and
+// returns its findings.
+func (v *Vet) CheckDir(dir string) ([]Diagnostic, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rootAbs, err := filepath.Abs(v.root)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(rootAbs, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("wafevet: %s is outside the module root %s", dir, v.root)
+	}
+	pkgPath := modulePath
+	if rel != "." {
+		pkgPath = modulePath + "/" + filepath.ToSlash(rel)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, files, _, err := v.imp.load(pkgPath, abs, info)
+	if err != nil {
+		return nil, err
+	}
+	v.imp.pkgs[pkgPath] = pkg
+
+	fc := &vetCheck{v: v, pkg: pkg, info: info}
+	for _, f := range files {
+		fc.ignores = scanVetIgnores(v.fset, f)
+		if pkgPath != obsPkgPath {
+			fc.checkNilGuard(f)
+		}
+		fc.checkLockedEval(f)
+		fc.checkScan(f)
+	}
+	fc.checkAtomics(files)
+	SortDiagnostics(fc.diags)
+	return fc.diags, nil
+}
+
+// vetCheck carries the per-package analysis state. report filters
+// through ignores, which always holds the directives of the file
+// currently being walked.
+type vetCheck struct {
+	v       *Vet
+	pkg     *types.Package
+	info    *types.Info
+	diags   []Diagnostic
+	ignores map[int]map[string]bool
+}
+
+func (fc *vetCheck) report(pos token.Pos, rule, format string, args ...any) {
+	p := fc.v.fset.Position(pos)
+	if set := fc.ignores[p.Line]; set != nil && (set["all"] || set[rule]) {
+		return
+	}
+	fc.diags = append(fc.diags, Diagnostic{
+		File: p.Filename, Line: p.Line, Col: p.Column, Rule: rule,
+		Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// scanVetIgnores collects "//wafevet:ignore rule..." comments; each
+// suppresses the named rules on its own line and the following line.
+func scanVetIgnores(fset *token.FileSet, f *ast.File) map[int]map[string]bool {
+	out := make(map[int]map[string]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			idx := strings.Index(c.Text, "wafevet:ignore")
+			if idx < 0 {
+				continue
+			}
+			rules := strings.Fields(c.Text[idx+len("wafevet:ignore"):])
+			if len(rules) == 0 {
+				rules = []string{"all"}
+			}
+			line := fset.Position(c.Pos()).Line
+			for _, ln := range []int{line, line + 1} {
+				if out[ln] == nil {
+					out[ln] = make(map[string]bool)
+				}
+				for _, r := range rules {
+					out[ln][r] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- nilguard
+
+// isObsPointer reports whether t is *P with P a named type declared
+// in the obs package.
+func isObsPointer(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	p := named.Obj().Pkg()
+	return p != nil && p.Path() == obsPkgPath
+}
+
+// checkNilGuard walks every function and flags selector uses of
+// obs-pointer values that are not dominated by a nil check.
+func (fc *vetCheck) checkNilGuard(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			// FuncLits are visited when their enclosing function walks
+			// its statements; top-level ones have no enclosing FuncDecl,
+			// but those don't occur in this codebase.
+			return true
+		default:
+			return true
+		}
+		if body != nil {
+			g := &nilGuard{fc: fc}
+			g.walkStmts(body.List, map[string]bool{})
+		}
+		return false
+	})
+}
+
+// nilGuard is the per-function guard walker.
+type nilGuard struct{ fc *vetCheck }
+
+func exprKey(e ast.Expr) string { return types.ExprString(e) }
+
+// cleanSource reports whether rhs produces a never-nil obs pointer:
+// constructor calls (New*, Enable*) and &Composite{} literals.
+func (g *nilGuard) cleanSource(rhs ast.Expr) bool {
+	switch e := rhs.(type) {
+	case *ast.CallExpr:
+		name := calleeName(e)
+		return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "Enable")
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, isLit := e.X.(*ast.CompositeLit)
+			return isLit
+		}
+	}
+	return false
+}
+
+func (g *nilGuard) walkStmts(stmts []ast.Stmt, guards map[string]bool) {
+	for i, s := range stmts {
+		switch st := s.(type) {
+		case *ast.IfStmt:
+			if st.Init != nil {
+				g.walkStmts([]ast.Stmt{st.Init}, guards)
+			}
+			g.checkExpr(st.Cond, guards)
+			thenGuards := copyGuards(guards)
+			var nilChecked []string
+			collectNonNil(st.Cond, &nilChecked)
+			for _, k := range nilChecked {
+				thenGuards[k] = true
+			}
+			g.walkStmts(st.Body.List, thenGuards)
+			elseGuards := copyGuards(guards)
+			var nilEq []string
+			collectIsNil(st.Cond, &nilEq)
+			for _, k := range nilEq {
+				elseGuards[k] = true
+			}
+			switch e := st.Else.(type) {
+			case *ast.BlockStmt:
+				g.walkStmts(e.List, elseGuards)
+			case *ast.IfStmt:
+				g.walkStmts([]ast.Stmt{e}, elseGuards)
+			}
+			// "if x == nil { return }" guards x for the rest of the block.
+			if len(nilEq) > 0 && st.Else == nil && terminates(st.Body) {
+				for _, k := range nilEq {
+					guards[k] = true
+				}
+			}
+			_ = i
+		case *ast.AssignStmt:
+			for _, rhs := range st.Rhs {
+				g.checkExpr(rhs, guards)
+			}
+			for j, lhs := range st.Lhs {
+				if j >= len(st.Rhs) && len(st.Rhs) != 1 {
+					break
+				}
+				rhs := st.Rhs[0]
+				if len(st.Rhs) == len(st.Lhs) {
+					rhs = st.Rhs[j]
+				}
+				if id, ok := lhs.(*ast.Ident); ok {
+					if g.cleanSource(rhs) || guards[exprKey(rhs)] {
+						guards[id.Name] = true
+					} else {
+						delete(guards, id.Name)
+					}
+				}
+			}
+		case *ast.BlockStmt:
+			g.walkStmts(st.List, copyGuards(guards))
+		case *ast.ForStmt:
+			if st.Init != nil {
+				g.walkStmts([]ast.Stmt{st.Init}, guards)
+			}
+			inner := copyGuards(guards)
+			if st.Cond != nil {
+				g.checkExpr(st.Cond, inner)
+				var nn []string
+				collectNonNil(st.Cond, &nn)
+				for _, k := range nn {
+					inner[k] = true
+				}
+			}
+			g.walkStmts(st.Body.List, inner)
+		case *ast.RangeStmt:
+			g.checkExpr(st.X, guards)
+			g.walkStmts(st.Body.List, copyGuards(guards))
+		case *ast.SwitchStmt:
+			if st.Init != nil {
+				g.walkStmts([]ast.Stmt{st.Init}, guards)
+			}
+			if st.Tag != nil {
+				g.checkExpr(st.Tag, guards)
+			}
+			for _, cl := range st.Body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					g.walkStmts(cc.Body, copyGuards(guards))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, cl := range st.Body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					g.walkStmts(cc.Body, copyGuards(guards))
+				}
+			}
+		case *ast.SelectStmt:
+			for _, cl := range st.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok {
+					g.walkStmts(cc.Body, copyGuards(guards))
+				}
+			}
+		case *ast.DeferStmt:
+			g.checkExpr(st.Call, copyGuards(guards))
+		case *ast.GoStmt:
+			g.checkExpr(st.Call, copyGuards(guards))
+		default:
+			ast.Inspect(s, func(n ast.Node) bool {
+				if e, ok := n.(ast.Expr); ok {
+					g.checkExpr(e, guards)
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+func copyGuards(g map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(g))
+	for k := range g {
+		out[k] = true
+	}
+	return out
+}
+
+// collectNonNil gathers expressions proven non-nil when cond is true:
+// "x != nil" and conjunctions thereof.
+func collectNonNil(cond ast.Expr, out *[]string) {
+	switch e := cond.(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			collectNonNil(e.X, out)
+			collectNonNil(e.Y, out)
+		case token.NEQ:
+			if isNilIdent(e.Y) {
+				*out = append(*out, exprKey(e.X))
+			} else if isNilIdent(e.X) {
+				*out = append(*out, exprKey(e.Y))
+			}
+		}
+	case *ast.ParenExpr:
+		collectNonNil(e.X, out)
+	}
+}
+
+// collectIsNil gathers expressions proven non-nil when cond is FALSE:
+// "x == nil" and disjunctions thereof ("x == nil || ..." false means
+// every disjunct is false, so x != nil).
+func collectIsNil(cond ast.Expr, out *[]string) {
+	switch e := cond.(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LOR:
+			collectIsNil(e.X, out)
+			collectIsNil(e.Y, out)
+		case token.EQL:
+			if isNilIdent(e.Y) {
+				*out = append(*out, exprKey(e.X))
+			} else if isNilIdent(e.X) {
+				*out = append(*out, exprKey(e.Y))
+			}
+		}
+	case *ast.ParenExpr:
+		collectIsNil(e.X, out)
+	}
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// terminates reports whether a block always transfers control away
+// (return, panic, continue, break, goto, os.Exit).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			name := calleeName(call)
+			return name == "panic" || name == "Exit" || name == "Fatal" || name == "Fatalf"
+		}
+	}
+	return false
+}
+
+// checkExpr flags unguarded selector uses of obs pointers inside e,
+// honouring short-circuit guards ("x != nil && x.Use()",
+// "x == nil || x.Use()").
+func (g *nilGuard) checkExpr(e ast.Expr, guards map[string]bool) {
+	switch ex := e.(type) {
+	case nil:
+		return
+	case *ast.BinaryExpr:
+		g.checkExpr(ex.X, guards)
+		inner := guards
+		switch ex.Op {
+		case token.LAND:
+			var nn []string
+			collectNonNil(ex.X, &nn)
+			if len(nn) > 0 {
+				inner = copyGuards(guards)
+				for _, k := range nn {
+					inner[k] = true
+				}
+			}
+		case token.LOR:
+			var eq []string
+			collectIsNil(ex.X, &eq)
+			if len(eq) > 0 {
+				inner = copyGuards(guards)
+				for _, k := range eq {
+					inner[k] = true
+				}
+			}
+		}
+		g.checkExpr(ex.Y, inner)
+	case *ast.SelectorExpr:
+		if t, ok := g.fc.info.Types[ex.X]; ok && isObsPointer(t.Type) {
+			if !guards[exprKey(ex.X)] && !g.cleanSource(ex.X) {
+				g.fc.report(ex.Pos(), "nilguard",
+					"possible nil dereference: %s is an optional obs metrics pointer; guard with a nil check before using %s",
+					exprKey(ex.X), exprKey(ex))
+			}
+		}
+		g.checkExpr(ex.X, guards)
+	case *ast.CallExpr:
+		g.checkExpr(ex.Fun, guards)
+		for _, a := range ex.Args {
+			g.checkExpr(a, guards)
+		}
+	case *ast.ParenExpr:
+		g.checkExpr(ex.X, guards)
+	case *ast.UnaryExpr:
+		g.checkExpr(ex.X, guards)
+	case *ast.StarExpr:
+		g.checkExpr(ex.X, guards)
+	case *ast.IndexExpr:
+		g.checkExpr(ex.X, guards)
+		g.checkExpr(ex.Index, guards)
+	case *ast.CompositeLit:
+		for _, el := range ex.Elts {
+			g.checkExpr(el, guards)
+		}
+	case *ast.KeyValueExpr:
+		g.checkExpr(ex.Value, guards)
+	case *ast.FuncLit:
+		// The closure may run later, when previously-guarded state has
+		// changed; analyze with only the current guards (conservative
+		// enough in practice).
+		g.walkStmts(ex.Body.List, copyGuards(guards))
+	}
+}
+
+// ---------------------------------------------------------------- lockedeval
+
+// checkLockedEval flags Interp.Eval/EvalScript calls made while a
+// mutex is (lexically) held.
+func (fc *vetCheck) checkLockedEval(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		fn, ok := n.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			return true
+		}
+		held := make(map[string]bool)
+		deferred := make(map[string]bool)
+		ast.Inspect(fn.Body, func(m ast.Node) bool {
+			switch node := m.(type) {
+			case *ast.DeferStmt:
+				if name, recv := fc.mutexMethod(node.Call); name == "Unlock" || name == "RUnlock" {
+					// Held until function exit; leave it in the set.
+					deferred[recv] = true
+					return false
+				}
+			case *ast.CallExpr:
+				if name, recv := fc.mutexMethod(node); name != "" {
+					switch name {
+					case "Lock", "RLock":
+						held[recv] = true
+					case "Unlock", "RUnlock":
+						if !deferred[recv] {
+							delete(held, recv)
+						}
+					}
+					return true
+				}
+				if evalName := fc.interpEval(node); evalName != "" && len(held) > 0 {
+					var locks []string
+					for k := range held {
+						locks = append(locks, k)
+					}
+					sort.Strings(locks)
+					fc.report(node.Pos(), "lockedeval",
+						"Interp.%s called while %s is locked: the script may invoke a callback that re-enters the locked component and deadlocks",
+						evalName, strings.Join(locks, ", "))
+				}
+			}
+			return true
+		})
+		return false
+	})
+}
+
+// mutexMethod returns (method, receiver-key) when call is
+// recv.Lock/Unlock/RLock/RUnlock on a sync mutex value.
+func (fc *vetCheck) mutexMethod(call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", ""
+	}
+	t, ok := fc.info.Types[sel.X]
+	if !ok {
+		return "", ""
+	}
+	s := t.Type.String()
+	if strings.HasSuffix(s, "sync.Mutex") || strings.HasSuffix(s, "sync.RWMutex") {
+		return name, exprKey(sel.X)
+	}
+	return "", ""
+}
+
+// interpEval returns the method name when call is a script evaluation
+// on *tcl.Interp.
+func (fc *vetCheck) interpEval(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Eval", "EvalScript", "EvalWords":
+	default:
+		return ""
+	}
+	t, ok := fc.info.Types[sel.X]
+	if !ok {
+		return ""
+	}
+	if t.Type.String() == "*"+modulePath+"/internal/tcl.Interp" {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+// ---------------------------------------------------------------- checkscan
+
+// scanFuncs are the conversion functions whose error result must not
+// be discarded.
+var scanFuncs = map[string]bool{
+	"strconv.Atoi": true, "strconv.ParseInt": true, "strconv.ParseUint": true,
+	"strconv.ParseFloat": true, "strconv.ParseBool": true,
+	"fmt.Sscan": true, "fmt.Sscanf": true, "fmt.Sscanln": true,
+}
+
+func (fc *vetCheck) scanCallName(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	pkgIdent, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if obj, ok := fc.info.Uses[pkgIdent]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			full := pn.Imported().Path() + "." + sel.Sel.Name
+			if scanFuncs[full] {
+				return full
+			}
+		}
+	}
+	return ""
+}
+
+// checkScan flags strconv/fmt scanning calls whose error result is
+// discarded (assigned to _ or the whole call used as a statement).
+func (fc *vetCheck) checkScan(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if name := fc.scanCallName(call); name != "" {
+					fc.report(call.Pos(), "checkscan", "result of %s is discarded; check the error (or n) result", name)
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			if len(st.Rhs) != 1 {
+				return true
+			}
+			call, ok := st.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := fc.scanCallName(call)
+			if name == "" {
+				return true
+			}
+			// The error is the last result; flag when it lands in _.
+			last := st.Lhs[len(st.Lhs)-1]
+			if id, ok := last.(*ast.Ident); ok && id.Name == "_" {
+				fc.report(call.Pos(), "checkscan", "error result of %s is discarded; handle the parse failure explicitly", name)
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// ---------------------------------------------------------------- atomics
+
+// checkAtomics collects struct fields passed to sync/atomic functions
+// (&x.field) and flags plain accesses of the same fields elsewhere in
+// the package.
+func (fc *vetCheck) checkAtomics(files []*ast.File) {
+	atomicFields := make(map[string]token.Pos) // "Struct.field" → first atomic site
+	inAtomic := make(map[ast.Node]bool)
+
+	fieldKey := func(sel *ast.SelectorExpr) string {
+		s, ok := fc.info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return ""
+		}
+		recv := s.Recv()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok {
+			return ""
+		}
+		return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + sel.Sel.Name
+	}
+
+	isAtomicCall := func(call *ast.CallExpr) bool {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		pkgIdent, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj, ok := fc.info.Uses[pkgIdent]
+		if !ok {
+			return false
+		}
+		pn, ok := obj.(*types.PkgName)
+		return ok && pn.Imported().Path() == "sync/atomic"
+	}
+
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(call) {
+				return true
+			}
+			inAtomic[call] = true
+			for _, a := range call.Args {
+				un, ok := a.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if sel, ok := un.X.(*ast.SelectorExpr); ok {
+					if k := fieldKey(sel); k != "" {
+						if _, seen := atomicFields[k]; !seen {
+							atomicFields[k] = call.Pos()
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	for _, f := range files {
+		fc.ignores = scanVetIgnores(fc.v.fset, f)
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			k := fieldKey(sel)
+			if k == "" {
+				return true
+			}
+			if _, tracked := atomicFields[k]; !tracked {
+				return true
+			}
+			for _, anc := range stack {
+				if inAtomic[anc] {
+					return true
+				}
+			}
+			fc.report(sel.Pos(), "atomics",
+				"field %s is accessed with sync/atomic elsewhere; this plain access is a data race", k)
+			return true
+		})
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"wafe/internal/xt"
+)
+
+// TestCreationCommandMeta asserts every widget-creation command has
+// registered metadata and that the central arity enforcement produces
+// the canonical wrong-#-args message.
+func TestCreationCommandMeta(t *testing.T) {
+	w := NewTest()
+	for name := range w.classes {
+		if _, ok := w.Interp.LookupMeta(name); !ok {
+			t.Errorf("creation command %q has no metadata", name)
+		}
+	}
+	_, err := w.Interp.Eval("command onlyName")
+	if err == nil || !strings.Contains(err.Error(), `wrong # args: should be "command name father ?-unmanaged? ?resource value ...?"`) {
+		t.Errorf("creation arity error = %v", err)
+	}
+
+	// The colliding "list" name must keep dispatching to the Tcl
+	// builtin when the second argument is not a widget.
+	if out, err := w.Interp.Eval("list a b c"); err != nil || out != "a b c" {
+		t.Errorf("list builtin broken: %q, %v", out, err)
+	}
+}
+
+// TestCoreMetaMirrorsRuntime spot-checks that recorded bounds agree
+// with the implementations' own arity errors.
+func TestCoreMetaMirrorsRuntime(t *testing.T) {
+	w := NewTest()
+	cases := []string{"realize a b", "sendKeys onlyWidget", "getValue w"}
+	for _, script := range cases {
+		name := strings.Fields(script)[0]
+		meta, ok := w.Interp.LookupMeta(name)
+		if !ok {
+			t.Fatalf("no metadata for %q", name)
+		}
+		nargs := len(strings.Fields(script)) - 1
+		if nargs >= meta.MinArgs && (meta.MaxArgs < 0 || nargs <= meta.MaxArgs) {
+			t.Fatalf("test case %q is within recorded bounds %d..%d", script, meta.MinArgs, meta.MaxArgs)
+		}
+		if _, err := w.Interp.Eval(script); err == nil {
+			t.Errorf("%q succeeded despite out-of-bounds argument count", script)
+		}
+	}
+}
+
+// TestCreationClassesCopy asserts the accessor returns a copy, not
+// the live table.
+func TestCreationClassesCopy(t *testing.T) {
+	w := NewTest()
+	m := w.CreationClasses()
+	if len(m) == 0 {
+		t.Fatal("no creation classes")
+	}
+	m["command"] = nil
+	if w.classes["command"] == nil {
+		t.Error("mutating the copy changed the live table")
+	}
+}
+
+// TestAllConstraints asserts constraint resources merge along the
+// class chain and are memoized.
+func TestAllConstraints(t *testing.T) {
+	w := NewTest()
+	form := w.classes["form"]
+	if form == nil {
+		t.Fatal("no form class")
+	}
+	cons := form.AllConstraints()
+	var found bool
+	for _, r := range cons {
+		if r.Name == "fromVert" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("form constraints missing fromVert: %v", cons)
+	}
+	if len(xt.ApplicationShellClass.AllConstraints()) != 0 {
+		t.Error("shell unexpectedly declares constraints")
+	}
+}

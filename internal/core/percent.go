@@ -226,6 +226,57 @@ func NewPercentScript(src string) *PercentScript {
 // percent codes and must be expanded per event.
 func (p *PercentScript) Compiled() *tcl.Script { return p.compiled }
 
+// Codes returns the percent codes the script uses, in order of
+// appearance (with duplicates). Static scripts return nil. The
+// wafecheck linter validates these against the known code sets below.
+func (p *PercentScript) Codes() []byte {
+	var out []byte
+	for _, s := range p.segs {
+		if s.code != 0 {
+			out = append(out, s.code)
+		}
+	}
+	return out
+}
+
+// ExpandWith substitutes every percent code through fn, leaving
+// literal segments untouched ("%%" is always a literal percent).
+// Static analysis uses it to turn a percent script into plain Tcl by
+// substituting placeholder values.
+func (p *PercentScript) ExpandWith(fn func(code byte) string) string {
+	if p.compiled != nil {
+		return p.Source
+	}
+	var b strings.Builder
+	b.Grow(len(p.Source))
+	for _, s := range p.segs {
+		switch {
+		case s.code == 0:
+			b.WriteString(s.lit)
+		case s.code == '%':
+			b.WriteByte('%')
+		default:
+			b.WriteString(fn(s.code))
+		}
+	}
+	return b.String()
+}
+
+// The known percent-code sets, one per expansion context. Each string
+// lists the single-character codes valid in that context ('%' itself
+// is always valid as the escape for a literal percent).
+//
+// KnownActionPercentCodes mirrors expandActionCode's switch;
+// KnownCallbackPercentCodes is %w plus the single-character CallData
+// keys the widget classes publish (List %i/%s, scrollbar %f/%d);
+// KnownBackendPercentCodes mirrors the supervisor's value map handed
+// to ExpandBackendPercent.
+const (
+	KnownActionPercentCodes   = "twbxyXYaks%"
+	KnownCallbackPercentCodes = "wisfd%"
+	KnownBackendPercentCodes  = "pnrxu%"
+)
+
 // ExpandAction substitutes the exec-action percent codes; identical to
 // ExpandActionPercent on the source.
 func (p *PercentScript) ExpandAction(w *xt.Widget, ev *xproto.Event) string {

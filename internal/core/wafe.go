@@ -111,6 +111,7 @@ func New(cfg Config) (*Wafe, error) {
 	w.registerRddCommands()
 	w.registerObsCommands()
 	w.registerActions()
+	w.registerCommandMetas()
 	top, err := app.CreateWidget("topLevel", xt.ApplicationShellClass, nil, nil, false)
 	if err != nil {
 		return nil, err

@@ -278,7 +278,7 @@ func cmdLsort(in *Interp, argv []string) (string, error) {
 			if err != nil && sortErr == nil {
 				sortErr = err
 			}
-			n, _ := strconv.Atoi(strings.TrimSpace(res))
+			n, _ := strconv.Atoi(strings.TrimSpace(res)) //wafevet:ignore checkscan (Tcl semantics: non-numeric comparator output sorts as 0)
 			return n < 0
 		}
 	}
@@ -308,8 +308,9 @@ func dictCompare(a, b string) int {
 			for j < len(b) && isDigit(b[j]) {
 				j++
 			}
+			//wafevet:ignore checkscan (digit runs scanned above are valid ints by construction)
 			na, _ := strconv.Atoi(a[si:i])
-			nb, _ := strconv.Atoi(b[sj:j])
+			nb, _ := strconv.Atoi(b[sj:j]) //wafevet:ignore checkscan (same digit-run argument)
 			if na != nb {
 				if na < nb {
 					return -1

@@ -341,6 +341,12 @@ func scanExprNumber(src string, pos int) (exprVal, int, error) {
 type exprCompiler struct {
 	src string
 	pos int
+	// lenient accepts unknown barewords as string literals instead of
+	// bailing to the classic parser. The evaluating path never sets it
+	// (bareword errors must interleave with substitution side effects
+	// exactly as before); CheckExpr uses it for static syntax checking,
+	// where a bareword is only a runtime concern, not a syntax error.
+	lenient bool
 }
 
 func (c *exprCompiler) atEnd() bool { return c.pos >= len(c.src) }
@@ -550,9 +556,34 @@ func (c *exprCompiler) compilePrimary() (exprNode, error) {
 			return &exprLit{v: floatVal(math.NaN())}, nil
 		}
 		// Unknown barewords go to the classic parser, which raises the
-		// error after any preceding substitutions have run.
+		// error after any preceding substitutions have run. A lenient
+		// (static-check) compile treats them as string operands.
+		if c.lenient {
+			return &exprLit{v: strVal(name)}, nil
+		}
 		return nil, errExprCompile
 	}
+}
+
+// CheckExpr statically checks the syntax of an expression source. It
+// is lenient about barewords (which may be legal strings at runtime)
+// but rejects structural errors: unbalanced parentheses, missing
+// operands, a ? without its :, trailing junk. On failure it returns a
+// *ParseError whose offset points at the first unparsable character.
+func CheckExpr(src string) error {
+	c := &exprCompiler{src: src, lenient: true}
+	_, err := c.compileTernary()
+	if err != nil {
+		if pe, ok := err.(*ParseError); ok {
+			return pe
+		}
+		return &ParseError{Msg: "syntax error in expression", Off: c.pos}
+	}
+	c.skipSpace()
+	if !c.atEnd() {
+		return &ParseError{Msg: "extra tokens after expression", Off: c.pos}
+	}
+	return nil
 }
 
 func (c *exprCompiler) compileFunc(name string) (exprNode, error) {

@@ -121,6 +121,11 @@ type Interp struct {
 	procs    map[string]*Proc
 	frames   []*frame
 
+	// metas holds per-command metadata (arity bounds, options) set via
+	// SetCommandMeta; read by the wafecheck linter and, for entries
+	// with a Usage string, by central arity enforcement.
+	metas map[string]CommandMeta
+
 	// Unknown, when non-nil, is invoked for undefined command names,
 	// mirroring Tcl's unknown mechanism.
 	Unknown CommandFunc
@@ -177,6 +182,7 @@ func New() *Interp {
 	registerStringCommands(in)
 	registerListCommands(in)
 	registerIOCommands(in)
+	registerBuiltinMetas(in)
 	return in
 }
 
@@ -193,10 +199,11 @@ func (in *Interp) RegisterCommand(name string, fn CommandFunc) {
 	in.commands[name] = fn
 }
 
-// UnregisterCommand removes a command binding.
+// UnregisterCommand removes a command binding and its metadata.
 func (in *Interp) UnregisterCommand(name string) {
 	delete(in.commands, name)
 	delete(in.procs, name)
+	delete(in.metas, name)
 }
 
 // HasCommand reports whether name is a registered command or proc.

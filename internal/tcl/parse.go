@@ -32,6 +32,51 @@ type word struct {
 	// expand is reserved for {*} style expansion (not part of Tcl 6 but
 	// useful for internal callers); it is never produced by the parser.
 	expand bool
+	// pos is the byte offset of the word's first character in the source
+	// the parser was created with (the opening brace or quote for braced
+	// and quoted words).
+	pos int
+	// form records how the word was written: '{' for braced, '"' for
+	// quoted, 0 for bare. Braced words suppress substitution, which the
+	// static checker uses to tell literal scripts from dynamic ones.
+	form byte
+}
+
+// ParseError is a parse failure with the byte offset of the offending
+// construct. The parser returns it from every failure site so that
+// compiled scripts (and the wafecheck linter) can report line/column
+// positions; Error() carries just the classic message text.
+type ParseError struct {
+	Msg string
+	Off int // byte offset into the source handed to the parser
+}
+
+func (e *ParseError) Error() string { return e.Msg }
+
+func (p *parser) errAt(off int, format string, args ...any) error {
+	return &ParseError{Msg: fmt.Sprintf(format, args...), Off: off}
+}
+
+// LineCol converts a byte offset within src to a 1-based line and
+// column pair. Offsets past the end of src report the position just
+// after the last character.
+func LineCol(src string, off int) (line, col int) {
+	if off > len(src) {
+		off = len(src)
+	}
+	if off < 0 {
+		off = 0
+	}
+	line, col = 1, 1
+	for i := 0; i < off; i++ {
+		if src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
 }
 
 type tokenKind int
@@ -45,6 +90,9 @@ const (
 type token struct {
 	kind tokenKind
 	text string // literal text, variable name, or nested script
+	// pos is the byte offset of the token's first character ('$' for
+	// variables, '[' for command substitutions) in the parser's source.
+	pos int
 	// index holds the (unsubstituted) array index tokens when kind==tokVar
 	// and the variable reference had the form $name(index).
 	index  []token
@@ -145,14 +193,26 @@ func (p *parser) nextCommand() (*parsedCommand, error) {
 }
 
 func (p *parser) parseWord() (word, error) {
+	start := p.pos
+	var w word
+	var err error
+	var form byte
 	switch p.peek() {
 	case '{':
-		return p.parseBracedWord()
+		form = '{'
+		w, err = p.parseBracedWord()
 	case '"':
-		return p.parseQuotedWord()
+		form = '"'
+		w, err = p.parseQuotedWord()
 	default:
-		return p.parseBareWord()
+		w, err = p.parseBareWord()
 	}
+	if err != nil {
+		return word{}, err
+	}
+	w.pos = start
+	w.form = form
+	return w, nil
 }
 
 // parseBracedWord reads {...} with brace counting; the content is
@@ -160,6 +220,7 @@ func (p *parser) parseWord() (word, error) {
 // verbatim per Tcl semantics (substitution happens later if the word is
 // used as a script).
 func (p *parser) parseBracedWord() (word, error) {
+	open := p.pos
 	start := p.pos + 1
 	depth := 0
 	i := p.pos
@@ -172,12 +233,12 @@ func (p *parser) parseBracedWord() (word, error) {
 		case '}':
 			depth--
 			if depth == 0 {
-				w := word{tokens: []token{{kind: tokText, text: p.src[start:i]}}}
+				w := word{tokens: []token{{kind: tokText, text: p.src[start:i], pos: start}}}
 				p.pos = i + 1
 				if !p.atEnd() {
 					c := p.peek()
 					if c != ' ' && c != '\t' && c != '\n' && c != '\r' && c != ';' && !(c == '\\' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '\n') {
-						return word{}, fmt.Errorf("extra characters after close-brace")
+						return word{}, p.errAt(p.pos, "extra characters after close-brace")
 					}
 				}
 				return w, nil
@@ -185,16 +246,18 @@ func (p *parser) parseBracedWord() (word, error) {
 		}
 		i++
 	}
-	return word{}, fmt.Errorf("missing close-brace")
+	return word{}, p.errAt(open, "missing close-brace")
 }
 
 func (p *parser) parseQuotedWord() (word, error) {
+	open := p.pos
 	p.pos++ // consume opening quote
 	var toks []token
 	var lit strings.Builder
+	litStart := p.pos
 	flush := func() {
 		if lit.Len() > 0 {
-			toks = append(toks, token{kind: tokText, text: lit.String()})
+			toks = append(toks, token{kind: tokText, text: lit.String(), pos: litStart})
 			lit.Reset()
 		}
 	}
@@ -207,11 +270,14 @@ func (p *parser) parseQuotedWord() (word, error) {
 			if !p.atEnd() {
 				c := p.peek()
 				if c != ' ' && c != '\t' && c != '\n' && c != '\r' && c != ';' {
-					return word{}, fmt.Errorf("extra characters after close-quote")
+					return word{}, p.errAt(p.pos, "extra characters after close-quote")
 				}
 			}
 			return word{tokens: toks}, nil
 		case '\\':
+			if lit.Len() == 0 {
+				litStart = p.pos
+			}
 			s, err := p.parseBackslash()
 			if err != nil {
 				return word{}, err
@@ -224,6 +290,7 @@ func (p *parser) parseQuotedWord() (word, error) {
 				return word{}, err
 			}
 			toks = append(toks, t)
+			litStart = p.pos
 		case '[':
 			flush()
 			t, err := p.parseCommandToken()
@@ -231,20 +298,25 @@ func (p *parser) parseQuotedWord() (word, error) {
 				return word{}, err
 			}
 			toks = append(toks, t)
+			litStart = p.pos
 		default:
+			if lit.Len() == 0 {
+				litStart = p.pos
+			}
 			lit.WriteByte(c)
 			p.pos++
 		}
 	}
-	return word{}, fmt.Errorf("missing closing quote")
+	return word{}, p.errAt(open, "missing closing quote")
 }
 
 func (p *parser) parseBareWord() (word, error) {
 	var toks []token
 	var lit strings.Builder
+	litStart := p.pos
 	flush := func() {
 		if lit.Len() > 0 {
-			toks = append(toks, token{kind: tokText, text: lit.String()})
+			toks = append(toks, token{kind: tokText, text: lit.String(), pos: litStart})
 			lit.Reset()
 		}
 	}
@@ -259,6 +331,9 @@ func (p *parser) parseBareWord() (word, error) {
 				flush()
 				return word{tokens: toks}, nil
 			}
+			if lit.Len() == 0 {
+				litStart = p.pos
+			}
 			s, err := p.parseBackslash()
 			if err != nil {
 				return word{}, err
@@ -271,6 +346,7 @@ func (p *parser) parseBareWord() (word, error) {
 				return word{}, err
 			}
 			toks = append(toks, t)
+			litStart = p.pos
 		case c == '[':
 			flush()
 			t, err := p.parseCommandToken()
@@ -278,11 +354,18 @@ func (p *parser) parseBareWord() (word, error) {
 				return word{}, err
 			}
 			toks = append(toks, t)
+			litStart = p.pos
 		case c == '{':
 			// An open brace inside a bare word is literal in Tcl.
+			if lit.Len() == 0 {
+				litStart = p.pos
+			}
 			lit.WriteByte(c)
 			p.pos++
 		default:
+			if lit.Len() == 0 {
+				litStart = p.pos
+			}
 			lit.WriteByte(c)
 			p.pos++
 		}
@@ -383,9 +466,10 @@ func isVarNameChar(c byte) bool {
 
 // parseVarToken parses $name, ${name} and $name(index).
 func (p *parser) parseVarToken() (token, error) {
+	dollar := p.pos
 	p.pos++ // consume $
 	if p.atEnd() {
-		return token{kind: tokText, text: "$"}, nil
+		return token{kind: tokText, text: "$", pos: dollar}, nil
 	}
 	if p.peek() == '{' {
 		p.pos++
@@ -394,11 +478,11 @@ func (p *parser) parseVarToken() (token, error) {
 			p.pos++
 		}
 		if p.atEnd() {
-			return token{}, fmt.Errorf("missing close-brace for variable name")
+			return token{}, p.errAt(dollar, "missing close-brace for variable name")
 		}
 		name := p.src[start:p.pos]
 		p.pos++
-		return token{kind: tokVar, text: name}, nil
+		return token{kind: tokVar, text: name, pos: dollar}, nil
 	}
 	start := p.pos
 	for !p.atEnd() && isVarNameChar(p.peek()) {
@@ -406,19 +490,20 @@ func (p *parser) parseVarToken() (token, error) {
 	}
 	if p.pos == start {
 		// A lone dollar sign is literal.
-		return token{kind: tokText, text: "$"}, nil
+		return token{kind: tokText, text: "$", pos: dollar}, nil
 	}
 	name := p.src[start:p.pos]
-	t := token{kind: tokVar, text: name}
+	t := token{kind: tokVar, text: name, pos: dollar}
 	if !p.atEnd() && p.peek() == '(' {
 		p.pos++
 		idxStart := p.pos
 		depth := 1
 		var idx []token
 		var lit strings.Builder
+		litStart := p.pos
 		flush := func() {
 			if lit.Len() > 0 {
-				idx = append(idx, token{kind: tokText, text: lit.String()})
+				idx = append(idx, token{kind: tokText, text: lit.String(), pos: litStart})
 				lit.Reset()
 			}
 		}
@@ -447,6 +532,7 @@ func (p *parser) parseVarToken() (token, error) {
 					return token{}, err
 				}
 				idx = append(idx, sub)
+				litStart = p.pos
 			case '[':
 				flush()
 				sub, err := p.parseCommandToken()
@@ -454,19 +540,25 @@ func (p *parser) parseVarToken() (token, error) {
 					return token{}, err
 				}
 				idx = append(idx, sub)
+				litStart = p.pos
 			case '\\':
+				if lit.Len() == 0 {
+					litStart = p.pos
+				}
 				s, err := p.parseBackslash()
 				if err != nil {
 					return token{}, err
 				}
 				lit.WriteString(s)
 			default:
+				if lit.Len() == 0 {
+					litStart = p.pos
+				}
 				lit.WriteByte(c)
 				p.pos++
 			}
 		}
-		_ = idxStart
-		return token{}, fmt.Errorf("missing )")
+		return token{}, p.errAt(idxStart-1, "missing )")
 	}
 	return t, nil
 }
@@ -474,6 +566,7 @@ func (p *parser) parseVarToken() (token, error) {
 // parseCommandToken parses a [script] substitution; the script is kept
 // unevaluated until substitution time.
 func (p *parser) parseCommandToken() (token, error) {
+	open := p.pos
 	p.pos++ // consume [
 	start := p.pos
 	depth := 1
@@ -492,7 +585,7 @@ func (p *parser) parseCommandToken() (token, error) {
 			if depth == 0 {
 				script := p.src[start:p.pos]
 				p.pos++
-				return token{kind: tokCommand, text: script}, nil
+				return token{kind: tokCommand, text: script, pos: open}, nil
 			}
 		case '{':
 			// Braces inside bracketed scripts must balance so that
@@ -500,5 +593,5 @@ func (p *parser) parseCommandToken() (token, error) {
 		}
 		p.pos++
 	}
-	return token{}, fmt.Errorf("missing close-bracket")
+	return token{}, p.errAt(open, "missing close-bracket")
 }

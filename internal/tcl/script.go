@@ -2,6 +2,7 @@ package tcl
 
 import (
 	"fmt"
+	"strings"
 	"time"
 )
 
@@ -29,6 +30,24 @@ type Script struct {
 	// can run them before reporting the error, exactly as the
 	// incremental parse-as-you-go evaluator did.
 	parseErr *Error
+	// parseErrOff is the byte offset of the parse error in Source
+	// (valid only when parseErr != nil).
+	parseErrOff int
+}
+
+// ParseErrorInfo reports the parse error recorded on the script, if
+// any: the bare message (without the line/column suffix), and the
+// 1-based line and column of the offending construct in Source.
+func (s *Script) ParseErrorInfo() (msg string, line, col int, ok bool) {
+	if s.parseErr == nil {
+		return "", 0, 0, false
+	}
+	line, col = LineCol(s.Source, s.parseErrOff)
+	msg = s.parseErr.Value
+	if i := strings.LastIndex(msg, " (line "); i >= 0 {
+		msg = msg[:i]
+	}
+	return msg, line, col, true
 }
 
 // compileScript parses src into a Script. It never fails: a parse
@@ -42,7 +61,13 @@ func compileScript(src string) *Script {
 	for {
 		cmd, err := p.nextCommand()
 		if err != nil {
-			s.parseErr = &Error{Code: CodeError, Value: err.Error()}
+			msg := err.Error()
+			if pe, ok := err.(*ParseError); ok {
+				s.parseErrOff = pe.Off
+				line, col := LineCol(src, pe.Off)
+				msg = fmt.Sprintf("%s (line %d, column %d)", msg, line, col)
+			}
+			s.parseErr = &Error{Code: CodeError, Value: msg}
 			return s
 		}
 		if cmd == nil {

@@ -148,6 +148,11 @@ func (c *Class) chain() []*Class { return c.resCache().chain }
 // slice is memoized and shared — callers must not mutate it.
 func (c *Class) AllResources() []Resource { return c.resCache().all }
 
+// AllConstraints returns the constraint resources this class (and its
+// superclasses) declares for its children, memoized like
+// AllResources. The slice is shared — callers must not mutate it.
+func (c *Class) AllConstraints() []Resource { return c.resCache().constraints }
+
 // actionFor resolves an action name against the class chain (sub-most
 // class wins), returning nil when undefined.
 func (c *Class) actionFor(name string) ActionProc {

@@ -17,6 +17,6 @@ func goid() int64 {
 	if i := bytes.IndexByte(s, ' '); i >= 0 {
 		s = s[:i]
 	}
-	id, _ := strconv.ParseInt(string(s), 10, 64)
+	id, _ := strconv.ParseInt(string(s), 10, 64) //wafevet:ignore checkscan (stack header is machine-generated; 0 on mismatch is fine)
 	return id
 }

@@ -81,6 +81,44 @@ if [ "${1:-}" = "supervise" ]; then
     exit $?
 fi
 
+# The `check` mode measures static-analysis throughput: it builds
+# wafecheck, times repeated full passes over the shipped demos and
+# example programs, and writes scripts/sec into BENCH_check.json. The
+# gate is twofold: the shipped scripts must be clean (exit 0) and a
+# full pass must finish in under CHECK_MAX_MS (default 10000 ms) — the
+# linter must stay fast enough to sit in CI and pre-commit hooks.
+if [ "${1:-}" = "check" ]; then
+    passes="${COUNT:-3}"
+    maxms="${CHECK_MAX_MS:-10000}"
+    bin=$(mktemp /tmp/wafecheck.XXXXXX)
+    go build -o "$bin" ./cmd/wafecheck
+    nfiles=$(ls demos/*.wafe examples/*/main.go | wc -l | tr -d ' ')
+    start=$(date +%s%N)
+    i=0
+    while [ "$i" -lt "$passes" ]; do
+        "$bin" demos/ examples/ || { echo "check: shipped scripts are not clean"; rm -f "$bin"; exit 1; }
+        i=$((i + 1))
+    done
+    end=$(date +%s%N)
+    rm -f "$bin"
+    awk -v ns="$((end - start))" -v passes="$passes" -v nfiles="$nfiles" -v maxms="$maxms" '
+    BEGIN {
+        ms_per_pass = ns / 1e6 / passes
+        sps = (nfiles * passes) / (ns / 1e9)
+        printf "{\n  \"wafecheck\": {\"files\": %d, \"passes\": %d, \"ms_per_pass\": %.1f, \"scripts_per_sec\": %.1f}\n}\n", \
+            nfiles, passes, ms_per_pass, sps > "BENCH_check.json"
+        printf "check: %d files, %.1f ms/pass, %.1f scripts/sec\n", nfiles, ms_per_pass, sps
+        if (ms_per_pass > maxms) {
+            printf "check: a full pass exceeds %d ms\n", maxms
+            exit 1
+        }
+    }'
+    status=$?
+    cat BENCH_check.json
+    echo "wrote BENCH_check.json"
+    exit $status
+fi
+
 # The `xrm` mode guards the quark-tree resource database: it runs the
 # resource-path benchmarks, joins them against the BENCH_eval.json seed
 # (recorded with the flat-list matcher) into BENCH_xrm.json, and gates

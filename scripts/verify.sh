@@ -18,6 +18,17 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
+# The repo's own analyzers: wafevet enforces runtime invariants
+# (nil-guarded obs pointers, no mutex held across Interp.Eval,
+# checked strconv/Sscan errors, consistent atomics) over every
+# internal package; wafecheck lints the shipped demos and the example
+# programs' embedded scripts against the live command table.
+echo "== wafevet ./internal/..."
+go run ./cmd/wafevet ./internal/...
+
+echo "== wafecheck demos/ examples/"
+go run ./cmd/wafecheck demos/ examples/
+
 echo "== go test -race ./internal/tcl/ ./internal/core/ ./internal/xt/ ./internal/frontend/... ./internal/obs/"
 go test -race ./internal/tcl/ ./internal/core/ ./internal/xt/ ./internal/frontend/... ./internal/obs/
 
