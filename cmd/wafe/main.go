@@ -2,12 +2,13 @@
 // extended with X Toolkit and Athena widget commands, talking to a
 // headless in-memory X display.
 //
-// It supports the paper's three modes of operation:
+// It supports the paper's three modes of operation plus serve mode:
 //
 //	wafe                          interactive mode (commands from stdin)
 //	wafe --f script.wafe          file mode (the #! magic)
 //	wafe --app backend args...    frontend mode (backend as child process)
 //	xwafeApp → wafeApp            frontend mode via the symlink scheme
+//	wafe --serve tcp:host:port    serve mode (one session per connection)
 //
 // Arguments starting with a double dash are handled by the frontend;
 // -display and -xrm go to the X Toolkit; the rest is passed to the
@@ -18,7 +19,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"wafe/internal/core"
 	"wafe/internal/frontend"
@@ -43,44 +46,36 @@ func run(args []string) int {
 	if strings.Contains(args[0], "mofe") {
 		set = core.SetMotif
 	}
-	w, err := core.New(core.Config{
-		AppName:     opts.AppName,
-		DisplayName: opts.DisplayName,
+
+	// The resource description file is evaluated at startup, before
+	// -xrm entries (which therefore take precedence on ties).
+	resText, code := resolveResourceFile(opts.ResourceFile)
+	if code != 0 {
+		return code
+	}
+
+	if opts.Mode == frontend.ModeServe {
+		return runServe(opts, set, resText)
+	}
+
+	// The classic single-process modes are one Session around the
+	// process's stdin/stdout.
+	sess, err := frontend.NewSession(frontend.SessionConfig{
 		Set:         set,
+		Opts:        opts,
+		Terminal:    os.Stdout,
+		DisplayName: opts.DisplayName,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wafe:", err)
 		return 2
 	}
-	// The resource description file is evaluated at startup, before
-	// -xrm entries (which therefore take precedence on ties).
-	resFile := opts.ResourceFile
-	if resFile == "" {
-		resFile = os.Getenv("WAFE_RESOURCE_FILE")
+	defer sess.Close()
+	w, f := sess.W, sess.F
+	if err := sess.LoadResources(resText, opts.XrmEntries); err != nil {
+		fmt.Fprintln(os.Stderr, "wafe:", err)
+		return 2
 	}
-	if resFile == "" {
-		if _, err := os.Stat("Wafe.ad"); err == nil {
-			resFile = "Wafe.ad"
-		}
-	}
-	if resFile != "" {
-		data, err := os.ReadFile(resFile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "wafe: resource file:", err)
-			return 2
-		}
-		if err := w.App.DB.EnterString(string(data)); err != nil {
-			fmt.Fprintln(os.Stderr, "wafe: resource file:", err)
-			return 2
-		}
-	}
-	for _, e := range opts.XrmEntries {
-		if err := w.App.DB.EnterString(e); err != nil {
-			fmt.Fprintln(os.Stderr, "wafe: -xrm:", err)
-			return 2
-		}
-	}
-	f := frontend.New(w, opts, os.Stdout)
 
 	// Observability: both flags enable the metrics layer; --debug-addr
 	// additionally serves expvar + pprof, and --metrics-dump writes
@@ -97,21 +92,7 @@ func run(args []string) int {
 			fmt.Fprintln(os.Stderr, "wafe: debug endpoint on http://"+ln.Addr().String())
 		}
 		if opts.MetricsDump != "" {
-			defer func() {
-				out := io.Writer(os.Stderr)
-				if opts.MetricsDump != "-" {
-					file, err := os.Create(opts.MetricsDump)
-					if err != nil {
-						fmt.Fprintln(os.Stderr, "wafe: --metrics-dump:", err)
-						return
-					}
-					defer file.Close()
-					out = file
-				}
-				if err := m.WriteJSON(out); err != nil {
-					fmt.Fprintln(os.Stderr, "wafe: --metrics-dump:", err)
-				}
-			}()
+			defer dumpMetrics(opts.MetricsDump, m)
 		}
 	}
 
@@ -148,7 +129,7 @@ func run(args []string) int {
 		// --respawn 0 (the default, classic quit-on-exit behavior) the
 		// supervisor provides exit classification for the `backend`
 		// command and the graceful shutdown escalation.
-		sup, err := f.Supervise(opts.AppProgram, opts.AppArgs, frontend.RestartPolicy{
+		sup, err := sess.Supervise(opts.AppProgram, opts.AppArgs, frontend.RestartPolicy{
 			MaxRestarts: opts.Respawn,
 			Grace:       opts.BackendGrace,
 		})
@@ -156,9 +137,105 @@ func run(args []string) int {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}
-		code := w.App.MainLoop()
+		code, runErr := sess.Run()
+		if runErr != nil {
+			fmt.Fprintln(os.Stderr, "wafe:", runErr)
+		}
 		_ = sup.Shutdown()
 		return code
 	}
 	return 0
+}
+
+// runServe is the serve-mode main loop: bind, accept until a
+// termination signal, drain, and optionally dump the per-session
+// metrics document.
+func runServe(opts *frontend.Options, set core.WidgetSet, resText string) int {
+	var sm *obs.ServerMetrics
+	if opts.MetricsDump != "" || opts.DebugAddr != "" {
+		sm = obs.NewServer()
+		if opts.DebugAddr != "" {
+			ln, err := obs.ServeDebugSource(opts.DebugAddr, sm)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wafe: --debug-addr:", err)
+				return 2
+			}
+			defer ln.Close()
+			fmt.Fprintln(os.Stderr, "wafe: debug endpoint on http://"+ln.Addr().String())
+		}
+		if opts.MetricsDump != "" {
+			defer dumpMetrics(opts.MetricsDump, sm)
+		}
+	}
+	srv, err := frontend.Listen(opts.ServeAddr, frontend.ServeConfig{
+		Opts:        opts,
+		Set:         set,
+		MaxSessions: opts.MaxSessions,
+		Metrics:     sm,
+		Resources:   resText,
+		XrmEntries:  opts.XrmEntries,
+		Grace:       opts.BackendGrace,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "wafe: serving on %s\n", srv.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "wafe: shutting down")
+		srv.Shutdown()
+	}()
+
+	if err := srv.Serve(); err != nil {
+		fmt.Fprintln(os.Stderr, "wafe:", err)
+		return 1
+	}
+	return 0
+}
+
+// resolveResourceFile reads the application-defaults file selected by
+// --resources, $WAFE_RESOURCE_FILE, or a Wafe.ad in the current
+// directory. A non-zero exit code signals a read failure.
+func resolveResourceFile(flag string) (text string, code int) {
+	resFile := flag
+	if resFile == "" {
+		resFile = os.Getenv("WAFE_RESOURCE_FILE")
+	}
+	if resFile == "" {
+		if _, err := os.Stat("Wafe.ad"); err == nil {
+			resFile = "Wafe.ad"
+		}
+	}
+	if resFile == "" {
+		return "", 0
+	}
+	data, err := os.ReadFile(resFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wafe: resource file:", err)
+		return "", 2
+	}
+	return string(data), 0
+}
+
+// dumpMetrics writes the JSON metrics document at exit ("-" writes to
+// standard error).
+func dumpMetrics(dest string, src obs.Source) {
+	out := io.Writer(os.Stderr)
+	if dest != "-" {
+		file, err := os.Create(dest)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wafe: --metrics-dump:", err)
+			return
+		}
+		defer file.Close()
+		out = file
+	}
+	if err := src.WriteJSON(out); err != nil {
+		fmt.Fprintln(os.Stderr, "wafe: --metrics-dump:", err)
+	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"wafe/internal/obs"
 	"wafe/internal/plotter"
+	"wafe/internal/rdd"
 	"wafe/internal/tcl"
 	"wafe/internal/xaw"
 	"wafe/internal/xm"
@@ -39,6 +40,11 @@ type Config struct {
 	Set WidgetSet
 	// TestDisplay uses a private display (tests).
 	TestDisplay bool
+	// DisplayNamespace, when non-empty, scopes every display this
+	// instance opens (primary and secondary) under the namespace —
+	// serve-mode sessions pass their session id so colliding display
+	// names across sessions stay isolated. Overrides DisplayName.
+	DisplayNamespace string
 }
 
 // Wafe couples the Tcl interpreter with the Xt application context and
@@ -92,10 +98,13 @@ func New(cfg Config) (*Wafe, error) {
 		cfg.ClassName = "Wafe"
 	}
 	var app *xt.App
-	if cfg.TestDisplay {
+	switch {
+	case cfg.TestDisplay:
 		app = xt.NewTestApp(cfg.AppName)
 		app.ClassName = cfg.ClassName
-	} else {
+	case cfg.DisplayNamespace != "":
+		app = xt.NewSessionApp(cfg.AppName, cfg.ClassName, cfg.DisplayNamespace)
+	default:
 		app = xt.NewApp(cfg.AppName, cfg.ClassName, cfg.DisplayName)
 	}
 	w := &Wafe{
@@ -143,10 +152,19 @@ func (w *Wafe) SetTraceSink(fn func(string)) {
 // threads it through every layer: interpreter, event loop, and the
 // protocol displays. It returns the registry.
 func (w *Wafe) EnableObservability() *obs.Metrics {
+	return w.EnableObservabilityWith(nil)
+}
+
+// EnableObservabilityWith threads a caller-provided registry through
+// every layer — the serve layer passes the per-session registry it
+// created in the ServerMetrics so aggregate and session views stay
+// coherent. A nil registry allocates a fresh one. Idempotent: once a
+// registry is attached, it wins.
+func (w *Wafe) EnableObservabilityWith(m *obs.Metrics) *obs.Metrics {
 	if w.Metrics != nil {
 		return w.Metrics
 	}
-	m := obs.New()
+	m = obs.NewOr(m)
 	w.Metrics = m
 	w.Interp.SetObs(&m.Tcl)
 	w.App.SetObs(&m.Xt)
@@ -157,6 +175,15 @@ func (w *Wafe) EnableObservability() *obs.Metrics {
 	}
 	m.Trace.SetSink(sink)
 	return m
+}
+
+// Close releases the process-global resources this instance holds:
+// its virtual displays leave the xproto registry and the drag-and-drop
+// context map drops the app. Must run after the event loop has
+// stopped; sessions call it when they retire.
+func (w *Wafe) Close() {
+	rdd.Release(w.App)
+	w.App.Close()
 }
 
 // QuitRequested reports whether the quit command ran.

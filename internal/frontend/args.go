@@ -24,6 +24,9 @@ const (
 	ModeFile
 	// ModeFrontend runs an application program as a child process.
 	ModeFrontend
+	// ModeServe accepts frontend connections on a listening socket,
+	// one session per connection (wafe --serve).
+	ModeServe
 )
 
 func (m Mode) String() string {
@@ -34,6 +37,8 @@ func (m Mode) String() string {
 		return "file"
 	case ModeFrontend:
 		return "frontend"
+	case ModeServe:
+		return "serve"
 	}
 	return "unknown"
 }
@@ -86,6 +91,15 @@ type Options struct {
 	// DebugAddr, when non-empty, enables observability and serves the
 	// expvar/pprof/metrics debug endpoint on the address.
 	DebugAddr string
+
+	// ServeAddr is the listening address in serve mode (--serve):
+	// tcp:host:port, unix:/path, or the bare forms ParseServeAddr
+	// resolves.
+	ServeAddr string
+
+	// MaxSessions bounds concurrent serve-mode sessions
+	// (--max-sessions); 0 means DefaultMaxSessions.
+	MaxSessions int
 
 	// ShowVersion prints the version banner and exits.
 	ShowVersion bool
@@ -187,6 +201,26 @@ func ParseArgs(argv0 string, args []string) (*Options, error) {
 					return nil, fmt.Errorf("wafe: bad --backend-grace %q", args[i])
 				}
 				o.BackendGrace = d
+			case "--serve":
+				if i+1 >= len(args) {
+					return nil, fmt.Errorf("wafe: --serve requires a listen address")
+				}
+				i++
+				if _, _, err := ParseServeAddr(args[i]); err != nil {
+					return nil, err
+				}
+				o.Mode = ModeServe
+				o.ServeAddr = args[i]
+			case "--max-sessions":
+				if i+1 >= len(args) {
+					return nil, fmt.Errorf("wafe: --max-sessions requires a session count")
+				}
+				i++
+				n, err := strconv.Atoi(args[i])
+				if err != nil || n <= 0 {
+					return nil, fmt.Errorf("wafe: bad --max-sessions %q", args[i])
+				}
+				o.MaxSessions = n
 			case "--metrics-dump":
 				if i+1 >= len(args) {
 					return nil, fmt.Errorf("wafe: --metrics-dump requires a file name (or -)")

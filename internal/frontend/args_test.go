@@ -49,8 +49,36 @@ func TestParseArgsFileModeBareScript(t *testing.T) {
 
 func TestModeString(t *testing.T) {
 	if ModeInteractive.String() != "interactive" || ModeFile.String() != "file" ||
-		ModeFrontend.String() != "frontend" || Mode(9).String() != "unknown" {
+		ModeFrontend.String() != "frontend" || ModeServe.String() != "serve" ||
+		Mode(9).String() != "unknown" {
 		t.Error("mode strings wrong")
+	}
+}
+
+func TestParseArgsServeMode(t *testing.T) {
+	o, err := ParseArgs("wafe", []string{"--serve", "tcp:127.0.0.1:7012", "--max-sessions", "64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Mode != ModeServe || o.ServeAddr != "tcp:127.0.0.1:7012" || o.MaxSessions != 64 {
+		t.Errorf("opts = %+v", o)
+	}
+	// Serve mode composes with the observability and protocol flags.
+	o, err = ParseArgs("wafe", []string{"--serve", "unix:/tmp/w.sock", "--metrics-dump", "-", "--prefix", "@"})
+	if err != nil || o.Mode != ModeServe || o.MetricsDump != "-" || o.Prefix != '@' {
+		t.Errorf("opts=%+v err=%v", o, err)
+	}
+	if _, err := ParseArgs("wafe", []string{"--serve"}); err == nil {
+		t.Error("--serve without address accepted")
+	}
+	if _, err := ParseArgs("wafe", []string{"--serve", "noaddr"}); err == nil {
+		t.Error("--serve with an unresolvable address accepted")
+	}
+	if _, err := ParseArgs("wafe", []string{"--max-sessions", "0"}); err == nil {
+		t.Error("--max-sessions 0 accepted")
+	}
+	if _, err := ParseArgs("wafe", []string{"--max-sessions"}); err == nil {
+		t.Error("--max-sessions without count accepted")
 	}
 }
 

@@ -56,6 +56,23 @@ type Frontend struct {
 	// Supervisor installs itself here to classify the exit and apply
 	// the restart policy.
 	onBackendGone func(readErr error)
+
+	// Serve-mode mirrors, nil outside serve mode: per-line latency is
+	// also observed into the server-wide aggregate histogram, and line
+	// and error counts into this session's labelled counters.
+	aggLatency *obs.Histogram
+	aggLines   *obs.Counter
+	aggErrors  *obs.Counter
+}
+
+// SetServeObs wires the serve-mode aggregates: lat receives every
+// line's handling latency alongside the session's own histogram;
+// lines/errs are the per-session labelled counters from the server
+// registry. All three may be nil.
+func (f *Frontend) SetServeObs(lat *obs.Histogram, lines, errs *obs.Counter) {
+	f.aggLatency = lat
+	f.aggLines = lines
+	f.aggErrors = errs
 }
 
 // New wires a Frontend around a Wafe instance.
@@ -215,13 +232,19 @@ func (f *Frontend) backendGone(readErr error) {
 // lines to the terminal.
 func (f *Frontend) HandleAppLine(line string) {
 	m := f.W.Metrics
-	if m == nil {
+	if m == nil && f.aggLatency == nil {
 		f.handleAppLine(line, nil)
 		return
 	}
 	start := time.Now()
 	f.handleAppLine(line, m)
-	m.Frontend.LineLatency.Observe(time.Since(start))
+	d := time.Since(start)
+	if m != nil {
+		m.Frontend.LineLatency.Observe(d)
+	}
+	if f.aggLatency != nil {
+		f.aggLatency.Observe(d)
+	}
 }
 
 func (f *Frontend) handleAppLine(line string, m *obs.Metrics) {
@@ -235,6 +258,9 @@ func (f *Frontend) handleAppLine(line string, m *obs.Metrics) {
 	}
 	if len(line) > 0 && line[0] == f.Opts.Prefix {
 		f.CommandLines++
+		if f.aggLines != nil {
+			f.aggLines.Inc()
+		}
 		if m != nil {
 			m.Frontend.CommandLines.Inc()
 			if m.Trace.Enabled() {
@@ -243,6 +269,9 @@ func (f *Frontend) handleAppLine(line string, m *obs.Metrics) {
 		}
 		if _, err := f.W.Eval(line[1:]); err != nil {
 			f.EvalErrors++
+			if f.aggErrors != nil {
+				f.aggErrors.Inc()
+			}
 			// The statistics/traceOn commands enable observability
 			// mid-line; re-read so the very first failure still counts.
 			if m == nil {

@@ -1,0 +1,131 @@
+package frontend
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sessionResult is what Session.Run returned.
+type sessionResult struct {
+	code int
+	err  error
+}
+
+// startSession builds a private-display Session attached to the server
+// end of an in-memory pipe and runs its event loop; the returned
+// client drives it like a serve-mode backend would.
+func startSession(t *testing.T, cfg SessionConfig) (*Session, *client, <-chan sessionResult) {
+	t.Helper()
+	cfg.PrivateDisplay = true
+	if cfg.Terminal == nil {
+		cfg.Terminal = &syncBuffer{}
+	}
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientEnd, serverEnd := net.Pipe()
+	s.AttachConn(serverEnd)
+	done := make(chan sessionResult, 1)
+	go func() {
+		code, err := s.Run()
+		done <- sessionResult{code, err}
+	}()
+	t.Cleanup(func() {
+		clientEnd.Close()
+		serverEnd.Close()
+		s.Close()
+	})
+	return s, &client{t: t, conn: clientEnd, br: bufio.NewReader(clientEnd), id: s.ID}, done
+}
+
+func waitSession(t *testing.T, done <-chan sessionResult) sessionResult {
+	t.Helper()
+	select {
+	case r := <-done:
+		return r
+	case <-time.After(10 * time.Second):
+		t.Fatal("session did not finish")
+		return sessionResult{}
+	}
+}
+
+// TestSessionIsolation: many Sessions in one process, every one
+// creating the same widget name, the same global variable, and the
+// same secondary display name. Each must see only its own values —
+// under -race this also proves the sessions share no unsynchronized
+// process-global state.
+func TestSessionIsolation(t *testing.T) {
+	const sessions = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, c, done := startSession(t, SessionConfig{})
+			// Colliding widget name, variable name, and secondary
+			// display name across every session.
+			c.send(fmt.Sprintf("%%label l topLevel label text-%d", i))
+			c.send(fmt.Sprintf("%%set v %d", i))
+			c.send("%echo [gV l label]=[set v]")
+			want := fmt.Sprintf("text-%d=%d", i, i)
+			if got := c.readLine(); got != want {
+				errs <- fmt.Errorf("session %s: got %q, want %q", s.ID, got, want)
+			}
+			c.send("%quit")
+			if r := waitSession(t, done); r.err != nil || r.code != 0 {
+				errs <- fmt.Errorf("session %s: Run = %d, %v", s.ID, r.code, r.err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestSessionPanicContained: a panic on one session's event loop is
+// converted into an error return instead of taking the process — a
+// sibling session keeps dispatching commands throughout.
+func TestSessionPanicContained(t *testing.T) {
+	a, _, aDone := startSession(t, SessionConfig{})
+	_, bc, bDone := startSession(t, SessionConfig{})
+
+	a.W.App.Post(func() { panic("injected session failure") })
+	r := waitSession(t, aDone)
+	if r.code != 1 {
+		t.Errorf("panicking session Run code = %d, want 1", r.code)
+	}
+	if r.err == nil || !strings.Contains(r.err.Error(), "injected session failure") {
+		t.Errorf("Run err = %v, want the panic value", r.err)
+	}
+	if r.err != nil && !strings.Contains(r.err.Error(), "session "+a.ID+" panic") {
+		t.Errorf("Run err = %v, want it to name session %s", r.err, a.ID)
+	}
+
+	bc.send("%echo sibling-still-up")
+	if got := bc.readLine(); got != "sibling-still-up" {
+		t.Errorf("sibling echo = %q, want \"sibling-still-up\"", got)
+	}
+	bc.send("%quit")
+	if r := waitSession(t, bDone); r.err != nil || r.code != 0 {
+		t.Errorf("sibling Run = %d, %v; want 0, nil", r.code, r.err)
+	}
+}
+
+// TestSessionCloseIdempotent: Close may run twice (server teardown and
+// a defer) without panicking or double-releasing.
+func TestSessionCloseIdempotent(t *testing.T) {
+	s, c, done := startSession(t, SessionConfig{})
+	c.send("%quit")
+	waitSession(t, done)
+	s.Close()
+	s.Close()
+}

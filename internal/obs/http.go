@@ -2,24 +2,32 @@ package obs
 
 import (
 	"expvar"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync"
 )
 
-// published is the metrics instance the expvar variable reads; expvar
-// names are process-global and can be registered only once, so the
-// variable indirects through this slot.
+// Source is anything that can be published on the debug endpoint: a
+// single-session *Metrics or the serve-mode *ServerMetrics aggregate.
+type Source interface {
+	Snapshot() []Sample
+	WriteJSON(w io.Writer) error
+}
+
+// published is the source the expvar variable reads; expvar names are
+// process-global and can be registered only once, so the variable
+// indirects through this slot.
 var (
 	publishMu   sync.Mutex
-	published   *Metrics
+	published   Source
 	publishOnce sync.Once
 )
 
-func publish(m *Metrics) {
+func publish(s Source) {
 	publishMu.Lock()
-	published = m
+	published = s
 	publishMu.Unlock()
 	publishOnce.Do(func() {
 		expvar.Publish("wafe", expvar.Func(func() any {
@@ -44,17 +52,24 @@ func publish(m *Metrics) {
 // can report the actual address (addr may use port 0) and close it;
 // the HTTP server runs until the listener closes.
 func ServeDebug(addr string, m *Metrics) (net.Listener, error) {
-	publish(m)
+	return ServeDebugSource(addr, m)
+}
+
+// ServeDebugSource is ServeDebug for any snapshot source — serve mode
+// passes the ServerMetrics aggregate, so /debug/vars and /metrics
+// report the whole process (per-session objects included in the
+// serve-mode JSON document).
+func ServeDebugSource(addr string, src Source) (net.Listener, error) {
+	publish(src)
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		_ = m.WriteJSON(w)
+		_ = src.WriteJSON(w)
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -79,10 +79,28 @@ type Metrics struct {
 	Xproto   XprotoMetrics
 	Frontend FrontendMetrics
 	Trace    Trace
+
+	// Extra, when non-nil, contributes additional samples to Snapshot —
+	// the serve layer points a session's registry at the server
+	// aggregates so statistics/metricsDump inside one session report
+	// the whole process too. Set before the session runs, never
+	// mutated afterwards. Aggregators must use SnapshotBase to avoid
+	// recursing through it.
+	Extra func() []Sample
 }
 
 // New returns an empty metrics registry.
 func New() *Metrics { return &Metrics{} }
+
+// NewOr returns m when non-nil, else a fresh registry — the pattern a
+// layer uses to accept an optional caller-owned registry (the serve
+// layer's per-session metrics) while guaranteeing a usable one.
+func NewOr(m *Metrics) *Metrics {
+	if m == nil {
+		return New()
+	}
+	return m
+}
 
 // Sample is one named metric value in a snapshot.
 type Sample struct {
@@ -116,8 +134,19 @@ func vecSamples(prefix string, v *CounterVec, out []Sample) []Sample {
 // Snapshot returns every metric as an ordered name/value list — the
 // statistics command renders it as a Tcl list, the JSON dump as an
 // object. Grouped per layer; names are stable and documented in
-// docs/protocol.md.
+// docs/protocol.md. Extra samples (serve-mode server aggregates) come
+// last.
 func (m *Metrics) Snapshot() []Sample {
+	out := m.SnapshotBase()
+	if m.Extra != nil {
+		out = append(out, m.Extra()...)
+	}
+	return out
+}
+
+// SnapshotBase is Snapshot without the Extra samples — what aggregators
+// walking many session registries must use.
+func (m *Metrics) SnapshotBase() []Sample {
 	var out []Sample
 	t := &m.Tcl
 	out = append(out,

@@ -170,13 +170,17 @@ type CounterVec struct {
 }
 
 // Inc increments the counter for the label.
-func (v *CounterVec) Inc(label string) {
+func (v *CounterVec) Inc(label string) { v.Counter(label).Inc() }
+
+// Counter returns the counter behind a label, creating it on first
+// use. Hot paths that always hit the same label (a serve-mode session
+// counting its own lines) hold the pointer and skip the map lookup.
+func (v *CounterVec) Counter(label string) *Counter {
 	v.mu.RLock()
 	c := v.m[label]
 	v.mu.RUnlock()
 	if c != nil {
-		c.Inc()
-		return
+		return c
 	}
 	v.mu.Lock()
 	if v.m == nil {
@@ -188,7 +192,7 @@ func (v *CounterVec) Inc(label string) {
 		v.m[label] = c
 	}
 	v.mu.Unlock()
-	c.Inc()
+	return c
 }
 
 // Get returns the current value for the label (0 when unseen).

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// ServerMetrics is the serve-mode registry: one *Metrics per live
+// session (created by AddSession, carried by the session's Wafe), plus
+// the aggregate counters the server itself maintains. The aggregate
+// Snapshot is what --debug-addr publishes in serve mode and what every
+// session's statistics command appends under the server.* prefix.
+//
+// Completed sessions keep their final metric snapshot (bounded by
+// DoneLimit) so the exit dump can report every session of a bounded
+// run, while a long-lived server does not grow without bound.
+type ServerMetrics struct {
+	// SessionsActive tracks the number of live sessions (its Max is the
+	// high watermark of the run).
+	SessionsActive Gauge
+	// SessionsTotal counts every session ever started.
+	SessionsTotal Counter
+	// SessionEnds classifies every session departure:
+	// quit / eof / readerr / panic / shutdown.
+	SessionEnds CounterVec
+	// Refused counts connections turned away by the session bound.
+	Refused Counter
+	// AcceptErrors counts transient listener failures.
+	AcceptErrors Counter
+	// DispatchLatency aggregates per-line handling latency across all
+	// sessions (each session also records into its own
+	// frontend.line_latency histogram).
+	DispatchLatency Histogram
+	// SessionLines / SessionErrors are per-session labelled counters:
+	// command lines handled and eval errors, keyed by session id.
+	SessionLines  CounterVec
+	SessionErrors CounterVec
+
+	// DoneLimit bounds retained snapshots of completed sessions
+	// (<= 0 means the default of 4096).
+	DoneLimit int
+
+	mu        sync.Mutex
+	live      map[string]*Metrics
+	done      map[string]map[string]int64
+	doneOrder []string
+}
+
+// NewServer returns an empty serve-mode registry.
+func NewServer() *ServerMetrics {
+	return &ServerMetrics{
+		live: make(map[string]*Metrics),
+		done: make(map[string]map[string]int64),
+	}
+}
+
+// AddSession registers a new session and returns its private metrics
+// registry. The registry's Extra hook is left to the caller (the serve
+// layer points it at this ServerMetrics so per-session statistics
+// include the aggregates).
+func (s *ServerMetrics) AddSession(id string) *Metrics {
+	m := New()
+	s.mu.Lock()
+	s.live[id] = m
+	n := int64(len(s.live))
+	s.mu.Unlock()
+	s.SessionsTotal.Inc()
+	s.SessionsActive.Observe(n)
+	return m
+}
+
+// EndSession retires a session: its final snapshot is retained (up to
+// DoneLimit), the live map shrinks, and the departure is classified.
+func (s *ServerMetrics) EndSession(id, reason string) {
+	s.mu.Lock()
+	m := s.live[id]
+	delete(s.live, id)
+	n := int64(len(s.live))
+	if m != nil {
+		limit := s.DoneLimit
+		if limit <= 0 {
+			limit = 4096
+		}
+		final := make(map[string]int64)
+		for _, sam := range m.SnapshotBase() {
+			final[sam.Name] = sam.Value
+		}
+		s.done[id] = final
+		s.doneOrder = append(s.doneOrder, id)
+		for len(s.doneOrder) > limit {
+			delete(s.done, s.doneOrder[0])
+			s.doneOrder = s.doneOrder[1:]
+		}
+	}
+	s.mu.Unlock()
+	s.SessionsActive.Observe(n)
+	s.SessionEnds.Inc(reason)
+}
+
+// Session returns the live registry for a session id, or nil.
+func (s *ServerMetrics) Session(id string) *Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.live[id]
+}
+
+// Active returns the number of live sessions.
+func (s *ServerMetrics) Active() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.live)
+}
+
+// Snapshot returns the aggregate server.* samples: the server's own
+// counters plus aggregates computed over the live sessions (summed
+// eval counts, max queue depths). It never descends into a session's
+// full Snapshot, so a session whose Extra hook points back here cannot
+// recurse.
+func (s *ServerMetrics) Snapshot() []Sample {
+	s.mu.Lock()
+	var evals, lines, errs, queueMax int64
+	for _, m := range s.live {
+		evals += m.Tcl.Evals.Load()
+		lines += m.Frontend.CommandLines.Load()
+		errs += m.Frontend.EvalErrors.Load()
+		if q := m.Xt.PostedQueueDepth.Max(); q > queueMax {
+			queueMax = q
+		}
+	}
+	s.mu.Unlock()
+	out := []Sample{
+		{"server.sessions_active", s.SessionsActive.Load()},
+		{"server.sessions_active_max", s.SessionsActive.Max()},
+		{"server.sessions_total", s.SessionsTotal.Load()},
+		{"server.refused", s.Refused.Load()},
+		{"server.accept_errors", s.AcceptErrors.Load()},
+		{"server.live_evals", evals},
+		{"server.live_command_lines", lines},
+		{"server.live_eval_errors", errs},
+		{"server.live_queue_depth_max", queueMax},
+	}
+	out = vecSamples("server.session_ends", &s.SessionEnds, out)
+	out = histSamples("server.dispatch_latency", &s.DispatchLatency, out)
+	return out
+}
+
+// serverDump is the serve-mode --metrics-dump document: the aggregate
+// plus one object per session (live sessions snapshotted now, completed
+// sessions at their final state), keyed by session id.
+type serverDump struct {
+	Server   map[string]int64            `json:"server"`
+	Sessions map[string]map[string]int64 `json:"sessions"`
+}
+
+// WriteJSON writes the serve-mode metrics document.
+func (s *ServerMetrics) WriteJSON(w io.Writer) error {
+	d := serverDump{
+		Server:   make(map[string]int64),
+		Sessions: make(map[string]map[string]int64),
+	}
+	for _, sam := range s.Snapshot() {
+		d.Server[sam.Name] = sam.Value
+	}
+	s.mu.Lock()
+	liveIDs := make([]string, 0, len(s.live))
+	for id := range s.live {
+		liveIDs = append(liveIDs, id)
+	}
+	sort.Strings(liveIDs)
+	liveMetrics := make([]*Metrics, len(liveIDs))
+	for i, id := range liveIDs {
+		liveMetrics[i] = s.live[id]
+	}
+	for id, final := range s.done {
+		d.Sessions[id] = final
+	}
+	s.mu.Unlock()
+	// Snapshot live sessions outside the lock: SnapshotBase walks
+	// lock-free atomics only.
+	for i, id := range liveIDs {
+		final := make(map[string]int64)
+		for _, sam := range liveMetrics[i].SnapshotBase() {
+			final[sam.Name] = sam.Value
+		}
+		d.Sessions[id] = final
+	}
+	return json.NewEncoder(w).Encode(d)
+}

@@ -13,6 +13,7 @@ package rdd
 
 import (
 	"fmt"
+	"sync"
 
 	"wafe/internal/xproto"
 	"wafe/internal/xt"
@@ -37,23 +38,42 @@ type DND struct {
 }
 
 // contexts keyed by app, mirroring RddInitialize's per-display context.
-var contexts = map[*xt.App]*DND{}
+// The map is process-global while each DND belongs to one app (one
+// session); the mutex covers concurrent sessions creating or releasing
+// their contexts — each DND itself is only ever touched from its own
+// session's event loop.
+var (
+	contextsMu sync.Mutex
+	contexts   = map[*xt.App]*DND{}
+)
 
 // Context returns (creating on first use) the app's drag-and-drop
 // context and registers the Rdd actions.
 func Context(app *xt.App) *DND {
-	if d, ok := contexts[app]; ok {
-		return d
+	contextsMu.Lock()
+	d, ok := contexts[app]
+	if !ok {
+		d = &DND{
+			app:     app,
+			sources: make(map[string]DataFunc),
+			targets: make(map[string]DropFunc),
+		}
+		contexts[app] = d
 	}
-	d := &DND{
-		app:     app,
-		sources: make(map[string]DataFunc),
-		targets: make(map[string]DropFunc),
+	contextsMu.Unlock()
+	if !ok {
+		app.AddAction("RddStartDrag", d.actionStartDrag)
+		app.AddAction("RddDrop", d.actionDrop)
 	}
-	contexts[app] = d
-	app.AddAction("RddStartDrag", d.actionStartDrag)
-	app.AddAction("RddDrop", d.actionDrop)
 	return d
+}
+
+// Release drops the app's drag-and-drop context, if any. Sessions call
+// it on close so the process-global map does not pin retired apps.
+func Release(app *xt.App) {
+	contextsMu.Lock()
+	delete(contexts, app)
+	contextsMu.Unlock()
 }
 
 // RegisterSource makes the widget a drag source (RddRegisterSource).

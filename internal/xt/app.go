@@ -31,6 +31,14 @@ type App struct {
 	Name      string
 	ClassName string
 
+	// Namespace scopes every display name this app opens. A serve-mode
+	// session sets it to its session id, so two sessions whose scripts
+	// both say "applicationShell top2 dec4:0" get two distinct virtual
+	// displays — the named in-memory displays are the isolation
+	// boundary between sessions. Empty (the single-process default)
+	// leaves display names untouched.
+	Namespace string
+
 	DB *Xrm
 
 	display  *xproto.Display
@@ -104,6 +112,17 @@ func NewApp(appName, className, displayName string) *App {
 	return newAppOn(appName, className, d)
 }
 
+// NewSessionApp creates an application context inside a display
+// namespace: the primary display and every secondary display opened
+// later are named <namespace>/<name>, private to this session by
+// uniqueness of the namespace. Close releases them.
+func NewSessionApp(appName, className, namespace string) *App {
+	d := xproto.OpenDisplay(namespace + "/:0")
+	app := newAppOn(appName, className, d)
+	app.Namespace = namespace
+	return app
+}
+
 // NewTestApp creates an app on a private display for tests.
 func NewTestApp(appName string) *App {
 	className := appName
@@ -145,8 +164,13 @@ func newAppOn(appName, className string, d *xproto.Display) *App {
 func (app *App) Display() *xproto.Display { return app.display }
 
 // OpenSecondDisplay attaches another display to the application, as
-// "applicationShell top2 dec4:0" requires.
+// "applicationShell top2 dec4:0" requires. Inside a namespaced app the
+// name is scoped to the session, so equal names in different sessions
+// open distinct displays.
 func (app *App) OpenSecondDisplay(name string) *xproto.Display {
+	if app.Namespace != "" {
+		name = app.Namespace + "/" + name
+	}
 	d := xproto.OpenDisplay(name)
 	for _, have := range app.displays {
 		if have == d {
@@ -163,6 +187,16 @@ func (app *App) OpenSecondDisplay(name string) *xproto.Display {
 // Displays returns all displays attached to the app.
 func (app *App) Displays() []*xproto.Display {
 	return append([]*xproto.Display(nil), app.displays...)
+}
+
+// Close releases the app's displays from the process-wide registry so
+// a retired session's virtual displays (and their window trees, draw
+// logs and event queues) become collectable. Must run after the
+// event loop has stopped.
+func (app *App) Close() {
+	for _, d := range app.displays {
+		xproto.CloseDisplay(d)
+	}
 }
 
 // WidgetByName resolves a widget reference — the string names Wafe uses

@@ -119,6 +119,49 @@ if [ "${1:-}" = "check" ]; then
     exit $status
 fi
 
+# The `serve` mode guards the session-core refactor: it runs the
+# serve-mode load harness (1024 concurrent sessions in one process by
+# default, WAFE_SERVE_SESSIONS overrides) and records session count,
+# dispatch-latency quantiles and per-session heap bytes into
+# BENCH_serve.json. Gates: p99 dispatch latency must stay under
+# SERVE_P99_MAX_MS (default 50 ms) and per-session heap under
+# SERVE_MAX_SESSION_KB (default 1024 KB).
+if [ "${1:-}" = "serve" ]; then
+    p99max="${SERVE_P99_MAX_MS:-50}"
+    kbmax="${SERVE_MAX_SESSION_KB:-1024}"
+    out=$(go test -run 'TestServeLoad$' -v -count 1 ./internal/frontend/)
+    printf '%s\n' "$out"
+    printf '%s\n' "$out" | awk -v p99max="$p99max" -v kbmax="$kbmax" '
+    /serveload:/ {
+        for (i = 1; i <= NF; i++) {
+            if (split($i, kv, "=") == 2) v[kv[1]] = kv[2] + 0
+        }
+        found = 1
+    }
+    END {
+        if (!found) { print "serve: no serveload summary in test output" > "/dev/stderr"; exit 1 }
+        p99ms = v["p99_ns"] / 1e6
+        kb = v["bytes_per_session"] / 1024
+        printf "{\n  \"serve_load\": {\"sessions\": %d, \"lines\": %d, \"p50_ns\": %d, \"p99_ns\": %d, \"max_ns\": %d, \"bytes_per_session\": %d},\n", \
+            v["sessions"], v["lines"], v["p50_ns"], v["p99_ns"], v["max_ns"], v["bytes_per_session"]
+        fail = 0
+        if (p99ms > p99max) {
+            printf "serve: FAIL p99 dispatch latency %.2f ms exceeds %d ms\n", p99ms, p99max > "/dev/stderr"; fail = 1
+        } else
+            printf "serve: p99 dispatch latency %.2f ms (bound %d ms)\n", p99ms, p99max > "/dev/stderr"
+        if (kb > kbmax) {
+            printf "serve: FAIL per-session heap %.0f KB exceeds %d KB\n", kb, kbmax > "/dev/stderr"; fail = 1
+        } else
+            printf "serve: per-session heap %.0f KB (bound %d KB)\n", kb, kbmax > "/dev/stderr"
+        printf "  \"_gate\": \"%s\"\n}\n", (fail ? "FAIL" : "OK")
+        exit fail
+    }' > BENCH_serve.json
+    status=$?
+    cat BENCH_serve.json
+    echo "wrote BENCH_serve.json"
+    exit $status
+fi
+
 # The `xrm` mode guards the quark-tree resource database: it runs the
 # resource-path benchmarks, joins them against the BENCH_eval.json seed
 # (recorded with the flat-list matcher) into BENCH_xrm.json, and gates

@@ -35,11 +35,20 @@ go test -race ./internal/tcl/ ./internal/core/ ./internal/xt/ ./internal/fronten
 # The fault-injection suite drives the supervisor and the pipe loop
 # through crash, hang, overlong-line and broken-pipe scenarios;
 # TestXrmConcurrent hammers the quark intern table and the database
-# generation counter with mergeResources racing widget creation. Run
-# by name so a renamed test cannot silently drop out of the gate.
-echo "== go test -race fault injection + supervision + xrm concurrency"
+# generation counter with mergeResources racing widget creation;
+# TestSession/TestServe cover session isolation, serve-mode lifecycle
+# (handshake, mid-command disconnect, crash respawn beside a live
+# sibling, graceful shutdown) and per-session metrics. Run by name so
+# a renamed test cannot silently drop out of the gate.
+echo "== go test -race fault injection + supervision + xrm concurrency + sessions"
 go test -race -count 1 \
-    -run 'TestSupervisor|TestShutdown|TestReadError|TestOverlong|TestPostFrom|TestTimerRemoved|TestXrmConcurrent' \
+    -run 'TestSupervisor|TestShutdown|TestReadError|TestOverlong|TestPostFrom|TestTimerRemoved|TestXrmConcurrent|TestSession|TestServe' \
     ./internal/xt/ ./internal/frontend/
+
+# The serve-mode load harness at a reduced session count: full scale
+# (1024 sessions) runs in the bench gate; here 256 sessions under the
+# race detector prove isolation with the full machinery engaged.
+echo "== go test -race serve-mode load harness (256 sessions)"
+WAFE_SERVE_SESSIONS=256 go test -race -count 1 -run 'TestServeLoad$' ./internal/frontend/
 
 echo "verify: OK"

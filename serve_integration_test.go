@@ -1,0 +1,160 @@
+//go:build unix
+
+package wafe
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeBinaryEndToEnd drives the real binary in serve mode over a
+// Unix socket: two concurrent backends with colliding names, one
+// clean quit, one SIGTERM-driven graceful shutdown, and the exit
+// metrics document keyed by session id.
+func TestServeBinaryEndToEnd(t *testing.T) {
+	bin := buildWafe(t)
+	dir := t.TempDir()
+	sock := filepath.Join(dir, "wafe.sock")
+	dump := filepath.Join(dir, "metrics.json")
+
+	cmd := exec.Command(bin, "--serve", "unix:"+sock, "--max-sessions", "8", "--metrics-dump", dump)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var waitErr error
+	exited := make(chan struct{})
+	go func() { waitErr = cmd.Wait(); close(exited) }()
+	defer func() {
+		select {
+		case <-exited:
+		default:
+			_ = cmd.Process.Kill()
+			<-exited
+		}
+	}()
+
+	// Wait for the socket to come up.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := os.Stat(sock); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("socket never appeared; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	type backend struct {
+		conn net.Conn
+		br   *bufio.Reader
+		id   string
+	}
+	dial := func() *backend {
+		conn, err := net.Dial("unix", sock)
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		b := &backend{conn: conn, br: bufio.NewReader(conn)}
+		line, err := b.br.ReadString('\n')
+		if err != nil || !strings.HasPrefix(line, "wafe session s") {
+			t.Fatalf("greeting = %q, %v", line, err)
+		}
+		b.id = strings.TrimSpace(strings.TrimPrefix(line, "wafe session "))
+		return b
+	}
+	sendLine := func(b *backend, s string) {
+		t.Helper()
+		if _, err := io.WriteString(b.conn, s+"\n"); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	readLine := func(b *backend) string {
+		t.Helper()
+		_ = b.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+		line, err := b.br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		return strings.TrimRight(line, "\n")
+	}
+
+	b1 := dial()
+	b2 := dial()
+	defer b1.conn.Close()
+	defer b2.conn.Close()
+	if b1.id == b2.id {
+		t.Fatalf("both sessions got id %s", b1.id)
+	}
+	// Colliding names, distinct values — each session answers with its own.
+	sendLine(b1, "%label l topLevel label one")
+	sendLine(b2, "%label l topLevel label two")
+	sendLine(b1, "%echo [gV l label]")
+	sendLine(b2, "%echo [gV l label]")
+	if got := readLine(b1); got != "one" {
+		t.Errorf("session %s sees %q, want \"one\"", b1.id, got)
+	}
+	if got := readLine(b2); got != "two" {
+		t.Errorf("session %s sees %q, want \"two\"", b2.id, got)
+	}
+	// One backend quits cleanly; the other stays for the shutdown.
+	// Reading to EOF observes the server closing b1's connection, so
+	// the quit is fully processed before the SIGTERM below races it.
+	sendLine(b1, "%quit")
+	_ = b1.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := io.Copy(io.Discard, b1.conn); err != nil {
+		t.Fatalf("draining quit session: %v", err)
+	}
+
+	// SIGTERM drains the server gracefully and writes the dump.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-exited:
+		if waitErr != nil {
+			t.Fatalf("serve process exited with %v; stderr:\n%s", waitErr, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("serve process did not exit on SIGTERM; stderr:\n%s", stderr.String())
+	}
+
+	data, err := os.ReadFile(dump)
+	if err != nil {
+		t.Fatalf("metrics dump: %v; stderr:\n%s", err, stderr.String())
+	}
+	var doc struct {
+		Server   map[string]int64            `json:"server"`
+		Sessions map[string]map[string]int64 `json:"sessions"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("dump not valid JSON: %v\n%s", err, data)
+	}
+	if doc.Server["server.sessions_total"] != 2 {
+		t.Errorf("server.sessions_total = %d, want 2", doc.Server["server.sessions_total"])
+	}
+	for _, id := range []string{b1.id, b2.id} {
+		if _, ok := doc.Sessions[id]; !ok {
+			t.Errorf("dump missing session %q; have:\n%s", id, data)
+		}
+	}
+	if doc.Sessions[b1.id]["frontend.command_lines"] != 3 {
+		t.Errorf("session %s command_lines = %d, want 3", b1.id, doc.Sessions[b1.id]["frontend.command_lines"])
+	}
+	// The socket file is gone after the graceful close.
+	if _, err := os.Stat(sock); !os.IsNotExist(err) {
+		t.Errorf("socket file still present after shutdown: %v", err)
+	}
+}
