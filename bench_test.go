@@ -163,6 +163,38 @@ func BenchmarkF4_FrontendRoundTrip(b *testing.B) {
 	}
 }
 
+// BenchmarkF4_FrontendRoundTripTraced is F4 with observability enabled
+// and span tracing on: every line records a line span plus an eval
+// span into the bounded ring, and a cmd event into the event ring.
+// bench.sh's trace mode gates on the paired delta between this
+// benchmark and the plain F4 measured in the same run (the per-line
+// cost of enabled tracing). The echo sink is detached: echoing every
+// traced line to the terminal is the verbose debug channel, whose
+// cost is the terminal write itself, not the recording machinery this
+// gate governs.
+func BenchmarkF4_FrontendRoundTripTraced(b *testing.B) {
+	w := core.NewTest()
+	var sink strings.Builder
+	f := frontend.New(w, nil, &sink)
+	m := w.EnableObservability()
+	m.Trace.SetEnabled(true)
+	m.Trace.SetSink(nil)
+	replies := 0
+	w.Interp.Stdout = func(string) { replies++ }
+	f.HandleAppLine("%label l topLevel")
+	f.HandleAppLine("%realize")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.HandleAppLine("%echo [gV l label]")
+	}
+	if replies < b.N {
+		b.Fatalf("replies = %d", replies)
+	}
+	if len(m.Trace.Spans()) == 0 {
+		b.Fatal("no spans recorded")
+	}
+}
+
 // BenchmarkF4_FrontendRoundTripSupervised is F4 with a live supervised
 // backend attached (cat, idle): the per-line path must not pay for
 // supervision, whose hooks only run when the command pipe ends.

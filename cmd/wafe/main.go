@@ -77,10 +77,12 @@ func run(args []string) int {
 		return 2
 	}
 
-	// Observability: both flags enable the metrics layer; --debug-addr
-	// additionally serves expvar + pprof, and --metrics-dump writes
-	// the JSON document when the process exits.
-	if opts.MetricsDump != "" || opts.DebugAddr != "" {
+	// Observability: the dump/debug/flight flags enable the metrics
+	// layer; --debug-addr additionally serves expvar + pprof +
+	// Prometheus text, --metrics-dump writes the JSON document when
+	// the process exits, and --flight-dir arms the flight recorder.
+	w.Flight = flightRecorder(opts)
+	if opts.MetricsDump != "" || opts.DebugAddr != "" || w.Flight != nil {
 		m := w.EnableObservability()
 		if opts.DebugAddr != "" {
 			ln, err := obs.ServeDebug(opts.DebugAddr, m)
@@ -151,8 +153,9 @@ func run(args []string) int {
 // termination signal, drain, and optionally dump the per-session
 // metrics document.
 func runServe(opts *frontend.Options, set core.WidgetSet, resText string) int {
+	fr := flightRecorder(opts)
 	var sm *obs.ServerMetrics
-	if opts.MetricsDump != "" || opts.DebugAddr != "" {
+	if opts.MetricsDump != "" || opts.DebugAddr != "" || fr != nil {
 		sm = obs.NewServer()
 		if opts.DebugAddr != "" {
 			ln, err := obs.ServeDebugSource(opts.DebugAddr, sm)
@@ -172,6 +175,7 @@ func runServe(opts *frontend.Options, set core.WidgetSet, resText string) int {
 		Set:         set,
 		MaxSessions: opts.MaxSessions,
 		Metrics:     sm,
+		Flight:      fr,
 		Resources:   resText,
 		XrmEntries:  opts.XrmEntries,
 		Grace:       opts.BackendGrace,
@@ -196,6 +200,15 @@ func runServe(opts *frontend.Options, set core.WidgetSet, resText string) int {
 		return 1
 	}
 	return 0
+}
+
+// flightRecorder builds the flight recorder from the --flight-dir and
+// --flight-latency flags, or returns nil when neither armed it.
+func flightRecorder(opts *frontend.Options) *obs.FlightRecorder {
+	if opts.FlightDir == "" && opts.FlightLatency <= 0 {
+		return nil
+	}
+	return &obs.FlightRecorder{Dir: opts.FlightDir, Latency: opts.FlightLatency}
 }
 
 // resolveResourceFile reads the application-defaults file selected by

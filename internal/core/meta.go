@@ -100,10 +100,14 @@ var coreMetas = []tcl.CommandMeta{
 	{Name: "displayList", MinArgs: 0, MaxArgs: 0},
 
 	// observability
-	{Name: "statistics", MinArgs: 0, MaxArgs: 0},
-	{Name: "traceOn", MinArgs: 0, MaxArgs: 0},
+	{Name: "statistics", MinArgs: 0, MaxArgs: 1},
+	{Name: "traceOn", MinArgs: 0, MaxArgs: 1},
 	{Name: "traceOff", MinArgs: 0, MaxArgs: 0},
+	{Name: "trace", MinArgs: 1, MaxArgs: 2, Subcommands: []string{"spans", "tree", "clear"}},
 	{Name: "metricsDump", MinArgs: 0, MaxArgs: 1},
+	{Name: "profileOn", MinArgs: 0, MaxArgs: 0},
+	{Name: "profileOff", MinArgs: 0, MaxArgs: 0},
+	{Name: "profileDump", MinArgs: 0, MaxArgs: 2, Options: []string{"-folded"}},
 
 	// drag and drop
 	{Name: "rddRegisterSource", MinArgs: 2, MaxArgs: 2},

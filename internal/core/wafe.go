@@ -68,6 +68,15 @@ type Wafe struct {
 	// the terminal so traces never land on the backend pipe.
 	traceSink func(string)
 
+	// TraceRingSize, when positive, configures the trace/span ring
+	// capacity applied when observability is (lazily) enabled — the
+	// --trace-ring flag lands here before any traceOn runs.
+	TraceRingSize int
+
+	// Flight, when non-nil, is attached to the registry at enable time
+	// so the anomaly trip sites can dump through it (--flight-dir).
+	Flight *obs.FlightRecorder
+
 	// BackendReport, when set by the frontend layer, supplies the
 	// `backend` command's lifecycle report as a flat name/value list
 	// (state, pid, restarts, last exit class/status, uptime). Nil means
@@ -82,6 +91,11 @@ type Wafe struct {
 	timers    map[string]*xt.Timer
 	nextID    int
 	chartRuns map[string]*stripChartRun
+
+	// profiler holds the Tcl profiler across a profileOn/profileOff
+	// window (and after it, for profileDump); nil before the first
+	// profileOn.
+	profiler *obs.Profiler
 
 	quitRequested bool
 	exitCode      int
@@ -166,9 +180,17 @@ func (w *Wafe) EnableObservabilityWith(m *obs.Metrics) *obs.Metrics {
 	}
 	m = obs.NewOr(m)
 	w.Metrics = m
+	if w.TraceRingSize > 0 {
+		m.Trace.SetRingSize(w.TraceRingSize)
+	}
+	if w.Flight != nil && m.Flight == nil {
+		m.Flight = w.Flight
+	}
 	w.Interp.SetObs(&m.Tcl)
+	w.Interp.SetTrace(&m.Trace)
 	w.App.SetObs(&m.Xt)
 	w.App.SetDisplayObs(&m.Xproto)
+	w.App.SetTrace(&m.Trace)
 	sink := w.traceSink
 	if sink == nil {
 		sink = func(line string) { fmt.Fprintln(os.Stdout, line) }

@@ -92,6 +92,20 @@ type Options struct {
 	// expvar/pprof/metrics debug endpoint on the address.
 	DebugAddr string
 
+	// TraceRing overrides the per-session span/trace ring capacity
+	// (--trace-ring); 0 keeps obs.DefaultRingSize.
+	TraceRing int
+
+	// FlightDir, when non-empty, enables the flight recorder: on an
+	// anomaly (panic, backend crash, slow line, refused connection) a
+	// JSON snapshot of metrics and recent spans is written there.
+	FlightDir string
+
+	// FlightLatency is the per-line latency threshold that trips the
+	// flight recorder (--flight-latency); zero disables the latency
+	// trigger while keeping the other anomaly triggers.
+	FlightLatency time.Duration
+
 	// ServeAddr is the listening address in serve mode (--serve):
 	// tcp:host:port, unix:/path, or the bare forms ParseServeAddr
 	// resolves.
@@ -233,6 +247,32 @@ func ParseArgs(argv0 string, args []string) (*Options, error) {
 				}
 				i++
 				o.DebugAddr = args[i]
+			case "--trace-ring":
+				if i+1 >= len(args) {
+					return nil, fmt.Errorf("wafe: --trace-ring requires an entry count")
+				}
+				i++
+				n, err := strconv.Atoi(args[i])
+				if err != nil || n <= 0 {
+					return nil, fmt.Errorf("wafe: bad --trace-ring %q", args[i])
+				}
+				o.TraceRing = n
+			case "--flight-dir":
+				if i+1 >= len(args) {
+					return nil, fmt.Errorf("wafe: --flight-dir requires a directory")
+				}
+				i++
+				o.FlightDir = args[i]
+			case "--flight-latency":
+				if i+1 >= len(args) {
+					return nil, fmt.Errorf("wafe: --flight-latency requires a duration")
+				}
+				i++
+				d, err := time.ParseDuration(args[i])
+				if err != nil || d <= 0 {
+					return nil, fmt.Errorf("wafe: bad --flight-latency %q", args[i])
+				}
+				o.FlightLatency = d
 			default:
 				return nil, fmt.Errorf("wafe: unknown frontend option %q", a)
 			}

@@ -229,22 +229,42 @@ func (f *Frontend) backendGone(readErr error) {
 // prefix lines are interpreted as Wafe commands, everything else passes
 // through to the terminal. With observability enabled, each line's
 // class and handling latency are recorded, and traceOn echoes command
-// lines to the terminal.
+// lines to the terminal. With tracing enabled the line is the root
+// span of the request tree; a line over the flight recorder's latency
+// threshold trips a flight dump.
 func (f *Frontend) HandleAppLine(line string) {
 	m := f.W.Metrics
 	if m == nil && f.aggLatency == nil {
 		f.handleAppLine(line, nil)
 		return
 	}
+	var sp obs.SpanCtx
+	if m != nil {
+		sp = m.Trace.StartSpan("line", spanLabel(line))
+	}
 	start := time.Now()
 	f.handleAppLine(line, m)
 	d := time.Since(start)
+	sp.End()
 	if m != nil {
 		m.Frontend.LineLatency.Observe(d)
+		if fr := m.Flight; fr != nil && fr.TripLatency(d) {
+			_, _ = fr.Trip("line_latency", m.Trace.Session(),
+				fmt.Sprintf("line took %v: %.60q", d, line), m, &m.Trace)
+		}
 	}
 	if f.aggLatency != nil {
 		f.aggLatency.Observe(d)
 	}
+}
+
+// spanLabel condenses a protocol line into a span name.
+func spanLabel(line string) string {
+	const max = 64
+	if len(line) > max {
+		line = line[:max]
+	}
+	return line
 }
 
 func (f *Frontend) handleAppLine(line string, m *obs.Metrics) {

@@ -22,14 +22,14 @@ func TestBalanced(t *testing.T) {
 		{"proc f {} {", false},
 		{"proc f {} {\nbody\n}", true},
 		{"set x [llength $y", false},
-		{`set x "a{b"`, true},          // quoted brace is not an opener
-		{`set x "a}b"`, true},          // quoted brace is not a closer
-		{`set x "a{b`, false},          // unclosed quote continues
-		{"}{", true},                   // negative depth is terminal
-		{"} {foo", true},               // ...even when later openers recover it
-		{"set x \\{", true},            // escaped brace is literal
-		{"set x {a\"b}", true},         // quote inside braces is ordinary
-		{"set x {a\"b} {", false},      // ...and does not hide later openers
+		{`set x "a{b"`, true},     // quoted brace is not an opener
+		{`set x "a}b"`, true},     // quoted brace is not a closer
+		{`set x "a{b`, false},     // unclosed quote continues
+		{"}{", true},              // negative depth is terminal
+		{"} {foo", true},          // ...even when later openers recover it
+		{"set x \\{", true},       // escaped brace is literal
+		{"set x {a\"b}", true},    // quote inside braces is ordinary
+		{"set x {a\"b} {", false}, // ...and does not hide later openers
 		{`puts "x" ; set y {1 2}`, true},
 	}
 	for _, c := range cases {
@@ -64,10 +64,10 @@ func TestFrontendAccounting(t *testing.T) {
 	f := New(w, &Options{Prefix: '%', LineLimit: 100}, term)
 	m := w.EnableObservability()
 
-	f.HandleAppLine("%echo ok")                        // command
-	f.HandleAppLine("plain")                           // passthrough
-	f.HandleAppLine("%" + strings.Repeat("x", 200))    // overlong
-	f.HandleAppLine("%nosuchcommand")                  // eval error
+	f.HandleAppLine("%echo ok")                     // command
+	f.HandleAppLine("plain")                        // passthrough
+	f.HandleAppLine("%" + strings.Repeat("x", 200)) // overlong
+	f.HandleAppLine("%nosuchcommand")               // eval error
 
 	if f.CommandLines != 2 || f.PassedLines != 1 || f.OverlongLines != 1 || f.EvalErrors != 1 {
 		t.Errorf("fields: cmd=%d passed=%d overlong=%d evalErr=%d",

@@ -74,6 +74,11 @@ type ServeConfig struct {
 	// session plus the server aggregates.
 	Metrics *obs.ServerMetrics
 
+	// Flight, when non-nil, is shared by every session: anomalies
+	// (panics, backend crashes, slow lines, refused connections) dump
+	// a metrics+span snapshot. Its rate limit is process-wide.
+	Flight *obs.FlightRecorder
+
 	// Resources is application-defaults text entered into every
 	// session's resource database; XrmEntries follow (and win ties).
 	Resources  string
@@ -205,6 +210,9 @@ func (srv *Server) StartConn(conn net.Conn) (string, error) {
 		srv.mu.Unlock()
 		if m := srv.cfg.Metrics; m != nil {
 			m.Refused.Inc()
+			if fr := srv.cfg.Flight; fr != nil {
+				_, _ = fr.Trip("refused", "", fmt.Sprintf("server full (%d sessions)", srv.cfg.MaxSessions), m, nil)
+			}
 		}
 		fmt.Fprintf(conn, "wafe: server full (%d sessions)\n", srv.cfg.MaxSessions)
 		conn.Close()
@@ -230,6 +238,7 @@ func (srv *Server) StartConn(conn net.Conn) (string, error) {
 		// server aggregates; Snapshot never recurses back (it walks
 		// SnapshotBase).
 		m.Extra = sm.Snapshot
+		m.Flight = srv.cfg.Flight
 	}
 	opts := srv.sessionOptions()
 	sess, err := NewSession(SessionConfig{

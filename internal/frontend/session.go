@@ -94,7 +94,14 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Opts != nil && cfg.Opts.TraceRing > 0 {
+		// Applied when observability is enabled — now, if the serve
+		// layer handed us a registry, or later when a traceOn/statistics
+		// command enables it lazily.
+		w.TraceRingSize = cfg.Opts.TraceRing
+	}
 	if cfg.Metrics != nil {
+		cfg.Metrics.Trace.SetSession(cfg.ID)
 		w.EnableObservabilityWith(cfg.Metrics)
 	}
 	term := cfg.Terminal
@@ -151,6 +158,9 @@ func (s *Session) Run() (code int, err error) {
 		if p := recover(); p != nil {
 			code = 1
 			err = fmt.Errorf("session %s panic: %v\n%s", s.ID, p, debug.Stack())
+			if m := s.W.Metrics; m != nil && m.Flight != nil {
+				_, _ = m.Flight.Trip("panic", s.ID, fmt.Sprintf("%v", p), m, &m.Trace)
+			}
 		}
 	}()
 	return s.W.App.MainLoop(), nil

@@ -215,6 +215,14 @@ func (s *Supervisor) afterExit(class string, status int, uptime time.Duration) {
 	if m := s.f.W.Metrics; m != nil {
 		m.Frontend.BackendExits.Inc(class)
 		m.Frontend.BackendUptime.Observe(uptime.Milliseconds())
+		// Lifecycle transitions are root spans: afterExit runs on the
+		// loop goroutine with no protocol line open.
+		m.Trace.Instant("lifecycle", "backend_exit "+class)
+		if fr := m.Flight; fr != nil && class != ExitClean {
+			_, _ = fr.Trip("backend_"+class, m.Trace.Session(),
+				fmt.Sprintf("backend %s exited %s (status %d) after %v", s.program, class, status, uptime),
+				m, &m.Trace)
+		}
 	}
 	if stopping {
 		s.setState(BackendStopped)
@@ -276,6 +284,7 @@ func (s *Supervisor) respawn() {
 	}
 	if m := s.f.W.Metrics; m != nil {
 		m.Frontend.BackendRestarts.Inc()
+		m.Trace.Instant("lifecycle", "backend_restart")
 	}
 	fmt.Fprintf(s.f.Terminal, "wafe: backend restarted (pid %d, restart %d)\n", s.Pid(), n)
 	s.fireCallback("onBackendRestart", "OnBackendRestart", lastClass, lastStatus, 0)

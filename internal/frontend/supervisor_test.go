@@ -7,7 +7,9 @@ import (
 	"testing"
 	"time"
 
+	"path/filepath"
 	"wafe/internal/core"
+	"wafe/internal/obs"
 )
 
 // runLoop starts the main loop and returns its exit code, failing the
@@ -168,5 +170,55 @@ func TestBackendCommandUnsupervised(t *testing.T) {
 	}
 	if !strings.Contains(out, "state none") {
 		t.Errorf("backend = %q, want state none", out)
+	}
+}
+
+// TestSupervisorLifecycleSpansAndFlight: backend exits and restarts
+// record lifecycle instants into the span ring, and a crash trips the
+// flight recorder.
+func TestSupervisorLifecycleSpansAndFlight(t *testing.T) {
+	backend := writeBackend(t, `#!/bin/sh
+exit 42
+`)
+	dir := t.TempDir()
+	w := core.NewTest()
+	w.Flight = &obs.FlightRecorder{Dir: dir, MinInterval: time.Nanosecond}
+	m := w.EnableObservability()
+	m.Trace.SetEnabled(true)
+	term := &lockedBuf{}
+	f := New(w, nil, term)
+	if _, err := f.Supervise(backend, nil, RestartPolicy{
+		MaxRestarts: 1,
+		Backoff:     time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if code := runLoop(t, w, 15*time.Second); code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+	var exits, restarts int
+	for _, sp := range m.Trace.Spans() {
+		if sp.Kind != "lifecycle" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(sp.Name, "backend_exit "):
+			exits++
+			if sp.Name != "backend_exit crash" {
+				t.Errorf("exit span = %q, want backend_exit crash", sp.Name)
+			}
+		case sp.Name == "backend_restart":
+			restarts++
+		}
+	}
+	if exits != 2 || restarts != 1 {
+		t.Errorf("lifecycle spans: %d exits, %d restarts; want 2 and 1", exits, restarts)
+	}
+	if m.Flight.Dumps.Load() == 0 {
+		t.Error("backend crash did not trip the flight recorder")
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "wafe-flight-*-backend_crash.json"))
+	if len(files) == 0 {
+		t.Errorf("no backend_crash flight dump in %s", dir)
 	}
 }

@@ -46,11 +46,19 @@ func publish(s Source) {
 	})
 }
 
+// PromSource is a Source that can also render itself in Prometheus
+// text format — both *Metrics and *ServerMetrics implement it.
+type PromSource interface {
+	Source
+	WritePrometheus(w io.Writer) error
+}
+
 // ServeDebug exposes m on addr: /debug/vars (expvar, including the
-// "wafe" metrics map), the /debug/pprof profiling endpoints, and
-// /metrics (the JSON dump). It returns the bound listener so callers
-// can report the actual address (addr may use port 0) and close it;
-// the HTTP server runs until the listener closes.
+// "wafe" metrics map), the /debug/pprof profiling endpoints, /metrics
+// (Prometheus text format, full histogram buckets) and /metrics.json
+// (the metricsDump JSON document). It returns the bound listener so
+// callers can report the actual address (addr may use port 0) and
+// close it; the HTTP server runs until the listener closes.
 func ServeDebug(addr string, m *Metrics) (net.Listener, error) {
 	return ServeDebugSource(addr, m)
 }
@@ -67,7 +75,16 @@ func ServeDebugSource(addr string, src Source) (net.Listener, error) {
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = src.WriteJSON(w)
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		if ps, ok := src.(PromSource); ok {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			_ = ps.WritePrometheus(w)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = src.WriteJSON(w)
 	})

@@ -87,6 +87,11 @@ type Metrics struct {
 	// mutated afterwards. Aggregators must use SnapshotBase to avoid
 	// recursing through it.
 	Extra func() []Sample
+
+	// Flight, when non-nil, is the process-wide flight recorder the
+	// anomaly trip sites (line latency, session panic, backend crash)
+	// dump through. Like Extra it is set before the session runs.
+	Flight *FlightRecorder
 }
 
 // New returns an empty metrics registry.
@@ -209,17 +214,33 @@ func (m *Metrics) Get(name string) (int64, bool) {
 type jsonDump struct {
 	Metrics map[string]int64 `json:"metrics"`
 	Trace   []TraceEvent     `json:"trace,omitempty"`
+	Spans   []Span           `json:"spans,omitempty"`
 }
 
-// WriteJSON writes the snapshot (plus the recent trace ring) as a
-// single-line JSON object, so `echo [metricsDump]` stays one protocol
-// line.
+// DumpTraceCap bounds the trace events and spans embedded in the
+// metricsDump JSON: the document travels as one protocol line, so a
+// large configured ring (--trace-ring 65536) must not balloon it. The
+// most recent entries win; the full rings stay reachable through the
+// trace Tcl command and the flight recorder.
+const DumpTraceCap = 64
+
+func lastN[T any](in []T, n int) []T {
+	if len(in) > n {
+		return in[len(in)-n:]
+	}
+	return in
+}
+
+// WriteJSON writes the snapshot (plus the tails of the trace and span
+// rings, capped at DumpTraceCap each) as a single-line JSON object, so
+// `echo [metricsDump]` stays one protocol line.
 func (m *Metrics) WriteJSON(w io.Writer) error {
 	d := jsonDump{Metrics: make(map[string]int64)}
 	for _, s := range m.Snapshot() {
 		d.Metrics[s.Name] = s.Value
 	}
-	d.Trace = m.Trace.Events()
+	d.Trace = lastN(m.Trace.Events(), DumpTraceCap)
+	d.Spans = lastN(m.Trace.Spans(), DumpTraceCap)
 	enc := json.NewEncoder(w)
 	return enc.Encode(d)
 }

@@ -210,7 +210,10 @@ func TestServeDebug(t *testing.T) {
 		}
 		return string(b)
 	}
-	if body := get("/metrics"); !strings.Contains(body, `"tcl.evals":9`) {
+	if body := get("/metrics.json"); !strings.Contains(body, `"tcl.evals":9`) {
+		t.Errorf("/metrics.json = %q", body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "wafe_tcl_evals 9") {
 		t.Errorf("/metrics = %q", body)
 	}
 	if body := get("/debug/vars"); !strings.Contains(body, `"wafe"`) {

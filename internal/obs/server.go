@@ -45,14 +45,16 @@ type ServerMetrics struct {
 	mu        sync.Mutex
 	live      map[string]*Metrics
 	done      map[string]map[string]int64
+	doneSpans map[string][]Span
 	doneOrder []string
 }
 
 // NewServer returns an empty serve-mode registry.
 func NewServer() *ServerMetrics {
 	return &ServerMetrics{
-		live: make(map[string]*Metrics),
-		done: make(map[string]map[string]int64),
+		live:      make(map[string]*Metrics),
+		done:      make(map[string]map[string]int64),
+		doneSpans: make(map[string][]Span),
 	}
 }
 
@@ -71,8 +73,9 @@ func (s *ServerMetrics) AddSession(id string) *Metrics {
 	return m
 }
 
-// EndSession retires a session: its final snapshot is retained (up to
-// DoneLimit), the live map shrinks, and the departure is classified.
+// EndSession retires a session: its final snapshot — and, when it
+// traced, its last DumpTraceCap spans — is retained (up to DoneLimit
+// sessions), the live map shrinks, and the departure is classified.
 func (s *ServerMetrics) EndSession(id, reason string) {
 	s.mu.Lock()
 	m := s.live[id]
@@ -88,9 +91,13 @@ func (s *ServerMetrics) EndSession(id, reason string) {
 			final[sam.Name] = sam.Value
 		}
 		s.done[id] = final
+		if spans := lastN(m.Trace.Spans(), DumpTraceCap); len(spans) > 0 {
+			s.doneSpans[id] = spans
+		}
 		s.doneOrder = append(s.doneOrder, id)
 		for len(s.doneOrder) > limit {
 			delete(s.done, s.doneOrder[0])
+			delete(s.doneSpans, s.doneOrder[0])
 			s.doneOrder = s.doneOrder[1:]
 		}
 	}
@@ -148,10 +155,14 @@ func (s *ServerMetrics) Snapshot() []Sample {
 
 // serverDump is the serve-mode --metrics-dump document: the aggregate
 // plus one object per session (live sessions snapshotted now, completed
-// sessions at their final state), keyed by session id.
+// sessions at their final state), keyed by session id; sessions with a
+// tracer enabled also contribute their recent spans (capped at
+// DumpTraceCap each, completed sessions keeping their retained tail),
+// again keyed by session id.
 type serverDump struct {
 	Server   map[string]int64            `json:"server"`
 	Sessions map[string]map[string]int64 `json:"sessions"`
+	Spans    map[string][]Span           `json:"spans,omitempty"`
 }
 
 // WriteJSON writes the serve-mode metrics document.
@@ -176,6 +187,12 @@ func (s *ServerMetrics) WriteJSON(w io.Writer) error {
 	for id, final := range s.done {
 		d.Sessions[id] = final
 	}
+	for id, spans := range s.doneSpans {
+		if d.Spans == nil {
+			d.Spans = make(map[string][]Span)
+		}
+		d.Spans[id] = spans
+	}
 	s.mu.Unlock()
 	// Snapshot live sessions outside the lock: SnapshotBase walks
 	// lock-free atomics only.
@@ -185,6 +202,37 @@ func (s *ServerMetrics) WriteJSON(w io.Writer) error {
 			final[sam.Name] = sam.Value
 		}
 		d.Sessions[id] = final
+		if spans := lastN(liveMetrics[i].Trace.Spans(), DumpTraceCap); len(spans) > 0 {
+			if d.Spans == nil {
+				d.Spans = make(map[string][]Span)
+			}
+			d.Spans[id] = spans
+		}
 	}
 	return json.NewEncoder(w).Encode(d)
+}
+
+// SessionSpans returns the recent spans of every session that has
+// recorded any — live sessions' full rings plus completed sessions'
+// retained tails — keyed by session id; the serve-layer view behind
+// the aggregate span dump.
+func (s *ServerMetrics) SessionSpans() map[string][]Span {
+	s.mu.Lock()
+	live := make([]*Metrics, 0, len(s.live))
+	ids := make([]string, 0, len(s.live))
+	for id, m := range s.live {
+		ids = append(ids, id)
+		live = append(live, m)
+	}
+	out := make(map[string][]Span, len(s.doneSpans))
+	for id, spans := range s.doneSpans {
+		out[id] = spans
+	}
+	s.mu.Unlock()
+	for i, m := range live {
+		if spans := m.Trace.Spans(); len(spans) > 0 {
+			out[ids[i]] = spans
+		}
+	}
+	return out
 }

@@ -1,11 +1,14 @@
 package obs
 
 import (
-	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// DefaultRingSize is the trace/span ring capacity used when none is
+// configured (--trace-ring / traceOn <n>).
+const DefaultRingSize = 256
 
 // TraceEvent is one recorded trace entry: a backend command line, a
 // fired callback/action, or any other annotated happening.
@@ -16,29 +19,26 @@ type TraceEvent struct {
 	Text string    `json:"text"`
 }
 
-// Ring is a bounded ring buffer of trace events. Writers never block
-// and never allocate beyond the fixed backing array; old events are
-// overwritten.
-type Ring struct {
+// ring is the shared bounded-buffer core behind Ring (trace events)
+// and SpanRing (spans): writers never block and never allocate beyond
+// the fixed backing array; old entries are overwritten.
+type ring[T any] struct {
 	mu   sync.Mutex
-	buf  []TraceEvent
+	buf  []T
 	next int
 	full bool
 }
 
-// NewRing returns a ring holding the last n events (n <= 0 picks a
-// default of 256).
-func NewRing(n int) *Ring {
+func newRing[T any](n int) ring[T] {
 	if n <= 0 {
-		n = 256
+		n = DefaultRingSize
 	}
-	return &Ring{buf: make([]TraceEvent, n)}
+	return ring[T]{buf: make([]T, n)}
 }
 
-// Push appends an event, overwriting the oldest once full.
-func (r *Ring) Push(ev TraceEvent) {
+func (r *ring[T]) push(v T) {
 	r.mu.Lock()
-	r.buf[r.next] = ev
+	r.buf[r.next] = v
 	r.next++
 	if r.next == len(r.buf) {
 		r.next = 0
@@ -47,8 +47,7 @@ func (r *Ring) Push(ev TraceEvent) {
 	r.mu.Unlock()
 }
 
-// Len returns the number of events currently held.
-func (r *Ring) Len() int {
+func (r *ring[T]) len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.full {
@@ -57,32 +56,59 @@ func (r *Ring) Len() int {
 	return r.next
 }
 
-// Events returns the held events, oldest first.
-func (r *Ring) Events() []TraceEvent {
+func (r *ring[T]) items() []T {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if !r.full {
-		out := make([]TraceEvent, r.next)
+		out := make([]T, r.next)
 		copy(out, r.buf[:r.next])
 		return out
 	}
-	out := make([]TraceEvent, 0, len(r.buf))
+	out := make([]T, 0, len(r.buf))
 	out = append(out, r.buf[r.next:]...)
 	out = append(out, r.buf[:r.next]...)
 	return out
 }
 
+// Ring is a bounded ring buffer of trace events.
+type Ring struct {
+	r ring[TraceEvent]
+}
+
+// NewRing returns a ring holding the last n events (n <= 0 picks
+// DefaultRingSize).
+func NewRing(n int) *Ring { return &Ring{r: newRing[TraceEvent](n)} }
+
+// Push appends an event, overwriting the oldest once full.
+func (r *Ring) Push(ev TraceEvent) { r.r.push(ev) }
+
+// Len returns the number of events currently held.
+func (r *Ring) Len() int { return r.r.len() }
+
+// Events returns the held events, oldest first.
+func (r *Ring) Events() []TraceEvent { return r.r.items() }
+
 // Trace is the tracing half of the observability layer: a ring of
-// recent events plus an optional echo sink (the terminal, in frontend
-// mode), mirroring the original Wafe's debug/echo mode. Recording is
-// gated by an atomic flag so a disabled tracer costs one atomic load.
+// recent flat events plus a ring of completed spans (span.go) and an
+// optional echo sink (the terminal, in frontend mode), mirroring the
+// original Wafe's debug/echo mode. Recording is gated by an atomic
+// flag so a disabled tracer costs one atomic load per site.
 type Trace struct {
 	enabled atomic.Bool
 	seq     atomic.Uint64
 
-	mu   sync.Mutex
-	sink func(line string)
-	ring *Ring
+	// cur is the id of the innermost open span — the parent the next
+	// StartSpan/Instant links to. Written only by the session's event
+	// loop goroutine (span sites are single-threaded per session);
+	// atomic so concurrent snapshot readers stay race-free.
+	cur atomic.Uint64
+
+	mu       sync.Mutex
+	sink     func(line string)
+	ring     *Ring
+	spans    *SpanRing
+	ringSize int    // 0 → DefaultRingSize, set by --trace-ring / traceOn <n>
+	session  string // session id stamped on recorded spans
 }
 
 // Enabled reports whether tracing is on.
@@ -99,6 +125,47 @@ func (t *Trace) SetSink(fn func(line string)) {
 	t.mu.Unlock()
 }
 
+// SetRingSize configures the capacity of the event and span rings
+// (n <= 0 restores DefaultRingSize). Existing rings are resized by
+// dropping their contents; the usual sequence is `traceOn <n>` before
+// any recording.
+func (t *Trace) SetRingSize(n int) {
+	if n < 0 {
+		n = 0
+	}
+	t.mu.Lock()
+	t.ringSize = n
+	t.ring = nil
+	t.spans = nil
+	t.mu.Unlock()
+}
+
+// RingSize returns the configured ring capacity (the default when
+// unset).
+func (t *Trace) RingSize() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ringSize <= 0 {
+		return DefaultRingSize
+	}
+	return t.ringSize
+}
+
+// SetSession stamps sid on every span recorded from now on — the serve
+// layer sets the session id before the session loop starts.
+func (t *Trace) SetSession(sid string) {
+	t.mu.Lock()
+	t.session = sid
+	t.mu.Unlock()
+}
+
+// Session returns the stamped session id.
+func (t *Trace) Session() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.session
+}
+
 // Emit records one trace event and echoes it to the sink as
 //
 //	wafe: trace <kind>: <text>
@@ -112,13 +179,13 @@ func (t *Trace) Emit(kind, text string) {
 	ev := TraceEvent{Seq: t.seq.Add(1), Time: time.Now(), Kind: kind, Text: text}
 	t.mu.Lock()
 	if t.ring == nil {
-		t.ring = NewRing(0)
+		t.ring = NewRing(t.ringSize)
 	}
 	t.ring.Push(ev)
 	sink := t.sink
 	t.mu.Unlock()
 	if sink != nil {
-		sink(fmt.Sprintf("wafe: trace %s: %s", kind, text))
+		sink("wafe: trace " + kind + ": " + text)
 	}
 }
 

@@ -159,6 +159,21 @@ type Interp struct {
 	// cache hit rates. Nil (the default) keeps every hot path at a
 	// single pointer comparison.
 	obs *obs.TclMetrics
+
+	// trace, when non-nil, records spans for top-level evals and proc
+	// calls (same nil-pointer discipline as obs).
+	trace *obs.Trace
+
+	// prof is the active Tcl profiler; nil outside a profiling window.
+	// The remaining fields are its activation bookkeeping: per-command
+	// and per-proc child-time accumulators, the live proc stack for
+	// folded output, and the per-Script newline index cache
+	// (profile.go).
+	prof          *obs.Profiler
+	profCmdChild  []int64
+	profProcChild []int64
+	profProcStack []string
+	profLines     map[*Script][]int
 }
 
 // SetObs attaches (or, with nil, detaches) the observability metrics.
@@ -543,6 +558,14 @@ func (in *Interp) ErrorInfo() string {
 }
 
 func (in *Interp) callProc(p *Proc, argv []string) (string, error) {
+	if t := in.trace; t != nil {
+		sp := t.StartSpan("proc", p.Name)
+		defer sp.End()
+	}
+	if in.prof != nil {
+		done := in.profEnterProc(p.Name)
+		defer done()
+	}
 	f := &frame{vars: make(map[string]*variable), proc: p}
 	actual := argv[1:]
 	nFormal := len(p.Args)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"wafe/internal/obs"
 )
 
 // This file adds the Tcl 7→8 style "compile once, evaluate many"
@@ -255,16 +257,36 @@ func (in *Interp) compileCached(src string) *Script {
 // last command. The completion-code and traceback behavior is
 // identical to Eval on the script's source. Top-level evaluations
 // (not nested [command] substitutions or loop bodies) are counted and
-// timed when observability is attached.
+// timed when observability is attached, opened as "eval" spans when
+// tracing is attached, and rooted into the profile when a profiling
+// window is open.
 func (in *Interp) EvalScript(s *Script) (string, error) {
-	if m := in.obs; m != nil && in.nesting == 0 {
-		start := time.Now()
-		res, err := in.evalScript(s)
-		m.Evals.Inc()
-		m.EvalLatency.Observe(time.Since(start))
-		return res, err
+	if in.nesting != 0 {
+		return in.evalScript(s)
 	}
-	return in.evalScript(s)
+	m, t, prof := in.obs, in.trace, in.prof
+	if m == nil && t == nil && prof == nil {
+		return in.evalScript(s)
+	}
+	var sp obs.SpanCtx
+	if t != nil && s != nil {
+		sp = t.StartSpan("eval", spanName(s.Source))
+	}
+	if prof != nil {
+		in.profCmdChild = append(in.profCmdChild, 0)
+	}
+	start := time.Now()
+	res, err := in.evalScript(s)
+	d := time.Since(start)
+	if m != nil {
+		m.Evals.Inc()
+		m.EvalLatency.Observe(d)
+	}
+	if prof != nil {
+		in.profToplevel(prof, d)
+	}
+	sp.End()
+	return res, err
 }
 
 func (in *Interp) evalScript(s *Script) (string, error) {
@@ -289,7 +311,11 @@ func (in *Interp) evalScript(s *Script) (string, error) {
 		if len(argv) == 0 {
 			continue
 		}
-		result, err = in.invoke(argv)
+		if in.prof != nil {
+			result, err = in.profInvoke(s, cmd, argv)
+		} else {
+			result, err = in.invoke(argv)
+		}
 		if err != nil {
 			if in.nesting == 1 {
 				// The error reached the top level: finish the

@@ -55,11 +55,19 @@ type Display struct {
 	// pointer comparison.
 	obs *obs.XprotoMetrics
 
+	// trace, when non-nil, records each protocol request as an instant
+	// span parented to whatever span is open (the dispatching callback
+	// or eval). Same nil discipline as obs.
+	trace *obs.Trace
+
 	closed bool
 }
 
 // SetObs attaches (or, with nil, detaches) the observability metrics.
 func (d *Display) SetObs(m *obs.XprotoMetrics) { d.obs = m }
+
+// SetTrace attaches (or, with nil, detaches) the span tracer.
+func (d *Display) SetTrace(t *obs.Trace) { d.trace = t }
 
 // registry of open displays, keyed by display name, emulating multiple
 // X servers ("applicationShell top2 dec4:0" opens a second display).

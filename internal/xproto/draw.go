@@ -79,6 +79,9 @@ func (d *Display) record(win WindowID, op DrawOp) {
 	if m := d.obs; m != nil {
 		m.Requests.Inc(op.Kind.String())
 	}
+	if t := d.trace; t != nil {
+		t.Instant("xproto", op.Kind.String())
+	}
 	d.drawLog[win] = append(d.drawLog[win], op)
 }
 

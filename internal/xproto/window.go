@@ -77,6 +77,9 @@ func (d *Display) CreateWindow(parent WindowID, x, y, width, height, borderWidth
 	if m := d.obs; m != nil {
 		m.Requests.Inc("CreateWindow")
 	}
+	if t := d.trace; t != nil {
+		t.Instant("xproto", "CreateWindow")
+	}
 	id := d.nextID
 	d.nextID++
 	w := &Window{
@@ -104,6 +107,9 @@ func (d *Display) DestroyWindow(id WindowID) {
 	}
 	if m := d.obs; m != nil {
 		m.Requests.Inc("DestroyWindow")
+	}
+	if t := d.trace; t != nil {
+		t.Instant("xproto", "DestroyWindow")
 	}
 	for _, c := range append([]WindowID(nil), w.Children...) {
 		d.DestroyWindow(c)
@@ -148,6 +154,9 @@ func (d *Display) MapWindow(id WindowID) {
 	if m := d.obs; m != nil {
 		m.Requests.Inc("MapWindow")
 	}
+	if t := d.trace; t != nil {
+		t.Instant("xproto", "MapWindow")
+	}
 	w.Mapped = true
 	if w.EventMask&StructureNotifyMask != 0 {
 		d.enqueue(Event{Type: MapNotify, Window: id})
@@ -178,6 +187,9 @@ func (d *Display) UnmapWindow(id WindowID) {
 	}
 	if m := d.obs; m != nil {
 		m.Requests.Inc("UnmapWindow")
+	}
+	if t := d.trace; t != nil {
+		t.Instant("xproto", "UnmapWindow")
 	}
 	w.Mapped = false
 	if w.EventMask&StructureNotifyMask != 0 {

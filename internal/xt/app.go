@@ -83,6 +83,11 @@ type App struct {
 	// too.
 	displayObs atomic.Pointer[obs.XprotoMetrics]
 
+	// trace, when non-nil, records spans per event dispatch, action
+	// and callback, and is handed to every display (current and
+	// future) for per-request spans. Same atomic discipline as obs.
+	trace atomic.Pointer[obs.Trace]
+
 	// loopGoID identifies the goroutine currently running the event
 	// loop (MainLoop, or Sync in tests); zero when none. Post consults
 	// it on the full-queue path to avoid deadlocking against itself.
@@ -102,6 +107,16 @@ func (app *App) SetDisplayObs(m *obs.XprotoMetrics) {
 	app.displayObs.Store(m)
 	for _, d := range app.displays {
 		d.SetObs(m)
+	}
+}
+
+// SetTrace attaches (or, with nil, detaches) the span tracer, on the
+// app's dispatch sites and on every display of the app, current and
+// future.
+func (app *App) SetTrace(t *obs.Trace) {
+	app.trace.Store(t)
+	for _, d := range app.displays {
+		d.SetTrace(t)
 	}
 }
 
@@ -179,6 +194,9 @@ func (app *App) OpenSecondDisplay(name string) *xproto.Display {
 	}
 	if m := app.displayObs.Load(); m != nil {
 		d.SetObs(m)
+	}
+	if t := app.trace.Load(); t != nil {
+		d.SetTrace(t)
 	}
 	app.displays = append(app.displays, d)
 	return d
@@ -260,8 +278,14 @@ func (app *App) LookupAction(w *Widget, name string) ActionProc {
 
 // DispatchEvent routes one X event to its widget (XtDispatchEvent):
 // Expose redraws, input events run through the translation table.
-// With observability attached, each dispatch is counted and timed.
+// With observability attached, each dispatch is counted and timed;
+// with tracing attached, each dispatch is a span (a root span when no
+// protocol line is open — timer- and input-driven events).
 func (app *App) DispatchEvent(d *xproto.Display, ev xproto.Event) {
+	if t := app.trace.Load(); t != nil && t.Enabled() {
+		sp := t.StartSpan("dispatch", ev.Type.String())
+		defer sp.End()
+	}
 	if m := app.obs.Load(); m != nil {
 		start := time.Now()
 		app.dispatchEvent(d, ev)
@@ -302,9 +326,14 @@ func (app *App) dispatchEvent(d *xproto.Display, ev xproto.Event) {
 		if m := app.obs.Load(); m != nil {
 			m.ActionsFired.Inc()
 		}
+		var sp obs.SpanCtx
+		if t := app.trace.Load(); t != nil {
+			sp = t.StartSpan("action", call.Name)
+		}
 		app.dispatchedCall = call
 		proc(recv, &ev, call.Params)
 		app.dispatchedCall = nil
+		sp.End()
 	}
 }
 

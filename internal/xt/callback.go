@@ -1,6 +1,10 @@
 package xt
 
-import "strings"
+import (
+	"strings"
+
+	"wafe/internal/obs"
+)
 
 // CallData carries per-invocation information a widget passes to its
 // callbacks (XtCallbackProc's call_data). Keys are the percent-code
@@ -77,7 +81,12 @@ func (w *Widget) CallCallbacks(name string, data CallData) {
 			if m := w.app.obs.Load(); m != nil {
 				m.CallbacksFired.Inc()
 			}
+			var sp obs.SpanCtx
+			if t := w.app.trace.Load(); t != nil && t.Enabled() {
+				sp = t.StartSpan("callback", w.Name+"."+name)
+			}
 			cb.Proc(w, data)
+			sp.End()
 		}
 	}
 }

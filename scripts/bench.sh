@@ -6,10 +6,12 @@
 # Usage: scripts/bench.sh [go-test-bench-regexp]
 #        scripts/bench.sh obs [go-test-bench-regexp]
 #        scripts/bench.sh supervise
+#        scripts/bench.sh trace
 #        scripts/bench.sh xrm
 # Environment: COUNT (default 3), BENCHTIME (default 1s),
 # BENCHTIME_F5 (default 140000x), NOISE_PCT (default 15, supervise
-# mode only).
+# mode only), TRACE_NOISE_PCT (default 15) and TRACE_MAX_US (default
+# 1, trace mode only).
 #
 # The `obs` mode measures the overhead of the observability layer in
 # its disabled state (instrumentation compiled in, metrics pointers
@@ -79,6 +81,81 @@ if [ "${1:-}" = "supervise" ]; then
         printf "supervise: within the %s%% noise bound\n", noise
     }' BENCH_obs.json -
     exit $?
+fi
+
+# The `trace` mode guards the request-tracing work on two fronts.
+# Disabled path: span hooks are compiled into every hot site (frontend
+# line handling, Tcl eval, Xt dispatch, Xlib requests) but cost one
+# guarded atomic check when no tracer is enabled — F4 and T1 are each
+# compared against the BENCH_eval.json seed with a TRACE_NOISE_PCT
+# (default 15 %) tolerance for machine-to-machine drift; the design
+# target is <= 2 % on a quiet machine. Enabled path: the paired
+# same-run delta between F4 with span recording on and plain F4 is the
+# per-line cost of live tracing, gated hard at TRACE_MAX_US (default
+# 1 µs) — the paired comparison makes this gate immune to drift.
+if [ "${1:-}" = "trace" ]; then
+    count="${COUNT:-3}"
+    benchtime="${BENCHTIME:-1s}"
+    noise="${TRACE_NOISE_PCT:-15}"
+    maxus="${TRACE_MAX_US:-1}"
+    status=0
+    out=$(go test -bench 'BenchmarkF4_FrontendRoundTrip$|BenchmarkF4_FrontendRoundTripTraced$|BenchmarkT1_PredefinedCallbacks$' \
+        -benchmem -benchtime "$benchtime" -count "$count" -run '^$' .)
+    printf '%s\n' "$out"
+    printf '%s\n' "$out" | awk -v noise="$noise" -v maxus="$maxus" '
+    function disabled_json(name, cur,   d) {
+        if (!(name in seed) || seed[name] <= 0) {
+            printf "trace: no seed for %s (disabled-path delta skipped)\n", name > "/dev/stderr"
+            return sprintf("{\"ns_per_op\": %.1f, \"seed_ns_per_op\": null, \"delta_pct\": null}", cur)
+        }
+        d = (cur - seed[name]) / seed[name] * 100
+        if (d > noise) {
+            printf "trace: FAIL %s disabled-path delta %+.2f%% exceeds the %s%% noise bound\n", name, d, noise > "/dev/stderr"
+            fail = 1
+        } else
+            printf "trace: %s disabled-path delta %+.2f%% (noise bound %s%%)\n", name, d, noise > "/dev/stderr"
+        return sprintf("{\"ns_per_op\": %.1f, \"seed_ns_per_op\": %.1f, \"delta_pct\": %.2f}", cur, seed[name], d)
+    }
+    FNR == NR {
+        if (match($0, /^  "[^"]+"/)) {
+            name = substr($0, 4, RLENGTH - 4)
+            if (match($0, /"ns_per_op": [0-9.]+/))
+                seed[name] = substr($0, RSTART + 13, RLENGTH - 13) + 0
+        }
+        next
+    }
+    /^Benchmark/ {
+        nm = $1
+        sub(/-[0-9]+$/, "", nm)
+        ns[nm] += $3; n[nm]++
+    }
+    END {
+        plain = "BenchmarkF4_FrontendRoundTrip"
+        traced = "BenchmarkF4_FrontendRoundTripTraced"
+        t1 = "BenchmarkT1_PredefinedCallbacks"
+        if (!(plain in ns) || !(traced in ns) || !(t1 in ns)) {
+            print "trace: benchmarks missing from the run" > "/dev/stderr"
+            exit 1
+        }
+        fail = 0
+        p = ns[plain] / n[plain]
+        tr = ns[traced] / n[traced]
+        over_us = (tr - p) / 1000
+        printf "{\n"
+        printf "  \"%s\": %s,\n", plain, disabled_json(plain, p)
+        printf "  \"%s\": %s,\n", t1, disabled_json(t1, ns[t1] / n[t1])
+        printf "  \"%s\": {\"ns_per_op\": %.1f, \"enabled_overhead_us_per_line\": %.3f},\n", traced, tr, over_us
+        if (over_us > maxus) {
+            printf "trace: FAIL enabled spans add %.3f us per line (bound %s us)\n", over_us, maxus > "/dev/stderr"
+            fail = 1
+        } else
+            printf "trace: enabled spans add %.3f us per line (bound %s us)\n", over_us, maxus > "/dev/stderr"
+        printf "  \"_gate\": \"%s\"\n}\n", (fail ? "FAIL" : "OK")
+        exit fail
+    }' BENCH_eval.json - > BENCH_trace.json || status=$?
+    cat BENCH_trace.json
+    echo "wrote BENCH_trace.json"
+    exit $status
 fi
 
 # The `check` mode measures static-analysis throughput: it builds

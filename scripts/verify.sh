@@ -38,17 +38,25 @@ go test -race ./internal/tcl/ ./internal/core/ ./internal/xt/ ./internal/fronten
 # generation counter with mergeResources racing widget creation;
 # TestSession/TestServe cover session isolation, serve-mode lifecycle
 # (handshake, mid-command disconnect, crash respawn beside a live
-# sibling, graceful shutdown) and per-session metrics. Run by name so
-# a renamed test cannot silently drop out of the gate.
-echo "== go test -race fault injection + supervision + xrm concurrency + sessions"
+# sibling, graceful shutdown) and per-session metrics;
+# TestTrace/TestRing/TestSpan cover concurrent span/event recording
+# against readers, and TestFlight the anomaly snapshots. Run by name
+# so a renamed test cannot silently drop out of the gate.
+echo "== go test -race fault injection + supervision + xrm concurrency + sessions + tracing"
 go test -race -count 1 \
-    -run 'TestSupervisor|TestShutdown|TestReadError|TestOverlong|TestPostFrom|TestTimerRemoved|TestXrmConcurrent|TestSession|TestServe' \
-    ./internal/xt/ ./internal/frontend/
+    -run 'TestSupervisor|TestShutdown|TestReadError|TestOverlong|TestPostFrom|TestTimerRemoved|TestXrmConcurrent|TestSession|TestServe|TestTrace|TestRing|TestSpan|TestFlight' \
+    ./internal/xt/ ./internal/frontend/ ./internal/obs/
 
 # The serve-mode load harness at a reduced session count: full scale
 # (1024 sessions) runs in the bench gate; here 256 sessions under the
 # race detector prove isolation with the full machinery engaged.
 echo "== go test -race serve-mode load harness (256 sessions)"
 WAFE_SERVE_SESSIONS=256 go test -race -count 1 -run 'TestServeLoad$' ./internal/frontend/
+
+# The tracing perf gate: disabled-path span hooks must stay within
+# noise of the seed, enabled spans must cost under a microsecond per
+# line (paired same-run comparison).
+echo "== scripts/bench.sh trace"
+COUNT=2 BENCHTIME=0.3s scripts/bench.sh trace
 
 echo "verify: OK"
