@@ -77,30 +77,20 @@ func cmdIncr(in *Interp, argv []string) (string, error) {
 	}
 	delta := int64(1)
 	if len(argv) == 3 {
-		d, err := strconv.ParseInt(argv[2], 0, 64)
+		// Like the stored value, the increment tolerates surrounding
+		// whitespace and an explicit leading '+' (Tcl trims both; the
+		// oracle sweep caught the increment being parsed untrimmed).
+		d, err := strconv.ParseInt(strings.TrimSpace(argv[2]), 0, 64)
 		if err != nil {
 			return "", NewError("expected integer but got %q", argv[2])
 		}
 		delta = d
 	}
-	cur := int64(0)
-	if in.VarExists(argv[1]) {
-		s, err := in.GetVar(argv[1])
-		if err != nil {
-			return "", err
-		}
-		c, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
-		if err != nil {
-			return "", NewError("expected integer but got %q", s)
-		}
-		cur = c
-	}
-	cur += delta
-	res := strconv.FormatInt(cur, 10)
-	if err := in.SetVar(argv[1], res); err != nil {
+	v, err := in.incrVar(argv[1], delta)
+	if err != nil {
 		return "", err
 	}
-	return res, nil
+	return v.String(), nil
 }
 
 func cmdAppend(in *Interp, argv []string) (string, error) {
@@ -233,6 +223,14 @@ func cmdFor(in *Interp, argv []string) (string, error) {
 			}
 		}
 		if _, err := in.EvalScript(next); err != nil {
+			// Tcl treats a break in the next script as loop
+			// termination (Tcl_ForObjCmd); only continue and real
+			// errors propagate. The oracle sweep caught break being
+			// passed through raw.
+			var te *Error
+			if asTclError(err, &te) && te.Code == CodeBreak {
+				return "", nil
+			}
 			return "", err
 		}
 	}
@@ -538,8 +536,13 @@ func cmdUplevel(in *Interp, argv []string) (string, error) {
 			break
 		}
 	}
+	// The truncated stack must not share the saved slice's backing
+	// array: a proc call during the uplevel would append over the
+	// saved frames, so restoring would resurrect the wrong (and, with
+	// frame pooling, already recycled) frame. The full-slice
+	// expression forces appends to copy.
 	saved := in.frames
-	in.frames = in.frames[:idx+1]
+	in.frames = in.frames[: idx+1 : idx+1]
 	defer func() { in.frames = saved }()
 	return in.Eval(strings.Join(rest, " "))
 }
@@ -564,6 +567,13 @@ func cmdRename(in *Interp, argv []string) (string, error) {
 	fn, ok := in.commands[old]
 	if !ok {
 		return "", NewError("can't rename %q: command doesn't exist", old)
+	}
+	// rename edits the command table directly, so it must invalidate
+	// the bytecode engine's inline dispatch caches (and the
+	// specialized-opcode guard) itself.
+	in.cmdGen++
+	if isSpecializedName(old) || isSpecializedName(nw) {
+		in.specialGen++
 	}
 	if nw == "" {
 		delete(in.commands, old)
@@ -729,6 +739,7 @@ func cmdArray(in *Interp, argv []string) (string, error) {
 		f := in.currentFrame()
 		if v, ok := f.vars[name]; ok && v.resolve().isArray {
 			delete(f.vars, name)
+			in.varEpoch++ // unset: cached refs to this name are invalid
 		}
 		return "", nil
 	}

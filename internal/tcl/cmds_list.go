@@ -57,6 +57,25 @@ func cmdLappend(in *Interp, argv []string) (string, error) {
 	if len(argv) < 2 {
 		return "", arityError("lappend", "varName ?value value ...?")
 	}
+	// Plain scalar fast path: one frame lookup instead of the three
+	// (exists / read / write) the general path pays. Same error
+	// surface: appending to an array variable reports the read error.
+	if base, _, isArr := splitArrayRef(argv[1]); !isArr {
+		f := in.currentFrame()
+		var rv *variable
+		if v, ok := f.vars[base]; ok {
+			rv = v.resolve()
+			if rv.isArray {
+				return "", NewError("can't read %q: variable is array", argv[1])
+			}
+		} else {
+			rv = &variable{}
+			f.vars[base] = rv
+		}
+		res := appendListElems(rv.val.String(), argv[2:])
+		rv.val = strVal(res)
+		return res, nil
+	}
 	cur := ""
 	if in.VarExists(argv[1]) {
 		s, err := in.GetVar(argv[1])
@@ -65,19 +84,23 @@ func cmdLappend(in *Interp, argv []string) (string, error) {
 		}
 		cur = s
 	}
+	res := appendListElems(cur, argv[2:])
+	if err := in.SetVar(argv[1], res); err != nil {
+		return "", err
+	}
+	return res, nil
+}
+
+func appendListElems(cur string, elems []string) string {
 	var b strings.Builder
 	b.WriteString(cur)
-	for _, v := range argv[2:] {
+	for _, v := range elems {
 		if b.Len() > 0 {
 			b.WriteByte(' ')
 		}
 		b.WriteString(QuoteListElement(v))
 	}
-	res := b.String()
-	if err := in.SetVar(argv[1], res); err != nil {
-		return "", err
-	}
-	return res, nil
+	return b.String()
 }
 
 func cmdLrange(in *Interp, argv []string) (string, error) {

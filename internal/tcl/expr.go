@@ -18,8 +18,9 @@ import (
 // in which substitution side effects surface.
 func (in *Interp) ExprEval(s string) (string, error) {
 	if n := in.compileExprCached(s); n != nil {
-		ev := &exprEvaluator{in: in}
+		ev := in.acquireEval()
 		v, err := n.eval(ev)
+		in.releaseEval(ev)
 		if err != nil {
 			return "", err
 		}
@@ -44,9 +45,21 @@ func (in *Interp) exprEvalClassic(s string) (string, error) {
 }
 
 // ExprBool evaluates an expression and interprets the result as a
-// boolean (used by if, while, for).
+// boolean (used by if, while, for). Compiled expressions read the
+// truth value straight off the typed result, skipping the
+// format-to-string/ParseBool round trip of the string-only engine
+// (asBool and ParseBool agree on every value either can produce).
 func (in *Interp) ExprBool(s string) (bool, error) {
-	r, err := in.ExprEval(s)
+	if n := in.compileExprCached(s); n != nil {
+		ev := in.acquireEval()
+		v, err := n.eval(ev)
+		in.releaseEval(ev)
+		if err != nil {
+			return false, err
+		}
+		return v.asBool()
+	}
+	r, err := in.exprEvalClassic(s)
 	if err != nil {
 		return false, err
 	}
@@ -65,98 +78,13 @@ func ParseBool(s string) (bool, error) {
 	}
 	if iv, err := strconv.ParseInt(t, 0, 64); err == nil {
 		return iv != 0, nil
+	} else if isRangeErr(err) {
+		return false, errIntTooLarge()
 	}
 	if fv, err := strconv.ParseFloat(t, 64); err == nil {
 		return fv != 0, nil
 	}
 	return false, NewError("expected boolean value but got %q", s)
-}
-
-type valKind int
-
-const (
-	vInt valKind = iota
-	vFloat
-	vString
-)
-
-type exprVal struct {
-	kind valKind
-	i    int64
-	f    float64
-	s    string
-}
-
-func intVal(i int64) exprVal     { return exprVal{kind: vInt, i: i} }
-func floatVal(f float64) exprVal { return exprVal{kind: vFloat, f: f} }
-func strVal(s string) exprVal    { return exprVal{kind: vString, s: s} }
-
-func (v exprVal) String() string {
-	switch v.kind {
-	case vInt:
-		return strconv.FormatInt(v.i, 10)
-	case vFloat:
-		return formatFloat(v.f)
-	default:
-		return v.s
-	}
-}
-
-// formatFloat renders like Tcl: always with a decimal point or exponent
-// so the value round-trips as a float.
-func formatFloat(f float64) string {
-	if math.IsInf(f, 1) {
-		return "Inf"
-	}
-	if math.IsInf(f, -1) {
-		return "-Inf"
-	}
-	s := strconv.FormatFloat(f, 'g', 12, 64)
-	if !strings.ContainsAny(s, ".eE") {
-		s += ".0"
-	}
-	return s
-}
-
-func (v exprVal) isNumeric() bool { return v.kind != vString }
-
-func (v exprVal) asFloat() float64 {
-	switch v.kind {
-	case vInt:
-		return float64(v.i)
-	case vFloat:
-		return v.f
-	}
-	return 0
-}
-
-func (v exprVal) asBool() (bool, error) {
-	switch v.kind {
-	case vInt:
-		return v.i != 0, nil
-	case vFloat:
-		return v.f != 0, nil
-	default:
-		return ParseBool(v.s)
-	}
-}
-
-// coerce attempts to turn a string value into a number.
-func coerce(v exprVal) exprVal {
-	if v.kind != vString {
-		return v
-	}
-	t := strings.TrimSpace(v.s)
-	if t == "" {
-		return v
-	}
-	if iv, err := strconv.ParseInt(t, 0, 64); err == nil {
-		return intVal(iv)
-	}
-	if fv, err := strconv.ParseFloat(t, 64); err == nil {
-		return floatVal(fv)
-	}
-	return v
 }
 
 type exprParser struct {
@@ -329,6 +257,69 @@ func b2i(b bool) int64 {
 	return 0
 }
 
+// intBinaryFast evaluates the common integer operators without
+// applyBinary's string-keyed switch and operand re-coercion. It
+// reports ok=false for everything it does not handle — the uncommon
+// operators (eq, ne, **) and every error case (divide by zero) — which
+// then takes the applyBinary path, keeping error surfaces identical.
+// The arithmetic bodies are copied from applyBinary verbatim.
+func intBinaryFast(op string, a, b int64) (exprVal, bool) {
+	if len(op) == 1 {
+		switch op[0] {
+		case '+':
+			return intVal(a + b), true
+		case '-':
+			return intVal(a - b), true
+		case '*':
+			return intVal(a * b), true
+		case '/':
+			if b == 0 {
+				return exprVal{}, false
+			}
+			q := a / b
+			if (a%b != 0) && ((a < 0) != (b < 0)) {
+				q--
+			}
+			return intVal(q), true
+		case '%':
+			if b == 0 {
+				return exprVal{}, false
+			}
+			m := a % b
+			if m != 0 && ((m < 0) != (b < 0)) {
+				m += b
+			}
+			return intVal(m), true
+		case '<':
+			return intVal(b2i(a < b)), true
+		case '>':
+			return intVal(b2i(a > b)), true
+		case '&':
+			return intVal(a & b), true
+		case '|':
+			return intVal(a | b), true
+		case '^':
+			return intVal(a ^ b), true
+		}
+		return exprVal{}, false
+	}
+	switch op {
+	case "==":
+		return intVal(b2i(a == b)), true
+	case "!=":
+		return intVal(b2i(a != b)), true
+	case "<=":
+		return intVal(b2i(a <= b)), true
+	case ">=":
+		return intVal(b2i(a >= b)), true
+	case "<<":
+		return intVal(a << uint(b)), true
+	case ">>":
+		return intVal(a >> uint(b)), true
+	}
+	return exprVal{}, false
+}
+
 func applyBinary(op string, l, r exprVal) (exprVal, error) {
 	switch op {
 	case "eq":
@@ -336,7 +327,14 @@ func applyBinary(op string, l, r exprVal) (exprVal, error) {
 	case "ne":
 		return intVal(b2i(l.String() != r.String())), nil
 	}
-	lc, rc := coerce(l), coerce(r)
+	lc, err := coerce(l)
+	if err != nil {
+		return exprVal{}, err
+	}
+	rc, err := coerce(r)
+	if err != nil {
+		return exprVal{}, err
+	}
 	// String comparison when either side is non-numeric.
 	if !lc.isNumeric() || !rc.isNumeric() {
 		ls, rs := l.String(), r.String()
@@ -535,7 +533,7 @@ func (e *exprParser) parsePrimary() (exprVal, error) {
 		if err != nil {
 			return exprVal{}, err
 		}
-		return coerce(strVal(s)), nil
+		return coerce(strVal(s))
 	case c == '[':
 		p := &parser{src: e.src, pos: e.pos}
 		t, err := p.parseCommandToken()
@@ -550,7 +548,7 @@ func (e *exprParser) parsePrimary() (exprVal, error) {
 		if err != nil {
 			return exprVal{}, err
 		}
-		return coerce(strVal(s)), nil
+		return coerce(strVal(s))
 	case c == '"':
 		p := &parser{src: e.src, pos: e.pos}
 		w, err := p.parseQuotedWordForExpr()
@@ -649,18 +647,38 @@ func applyFunc(name string, args []exprVal) (exprVal, error) {
 		if err := need(1); err != nil {
 			return exprVal{}, err
 		}
-		a := coerce(args[0])
+		a, err := coerce(args[0])
+		if err != nil {
+			return exprVal{}, err
+		}
 		if !a.isNumeric() {
 			return exprVal{}, NewError("non-numeric argument to %q", name)
 		}
 		return floatVal(fn(a.asFloat())), nil
+	}
+	f2 := func(fn func(float64, float64) float64) (exprVal, error) {
+		if err := need(2); err != nil {
+			return exprVal{}, err
+		}
+		a, err := coerceFloat(args[0])
+		if err != nil {
+			return exprVal{}, err
+		}
+		b, err := coerceFloat(args[1])
+		if err != nil {
+			return exprVal{}, err
+		}
+		return floatVal(fn(a, b)), nil
 	}
 	switch name {
 	case "abs":
 		if err := need(1); err != nil {
 			return exprVal{}, err
 		}
-		a := coerce(args[0])
+		a, err := coerce(args[0])
+		if err != nil {
+			return exprVal{}, err
+		}
 		if a.kind == vInt {
 			if a.i < 0 {
 				return intVal(-a.i), nil
@@ -672,7 +690,10 @@ func applyFunc(name string, args []exprVal) (exprVal, error) {
 		if err := need(1); err != nil {
 			return exprVal{}, err
 		}
-		a := coerce(args[0])
+		a, err := coerce(args[0])
+		if err != nil {
+			return exprVal{}, err
+		}
 		if !a.isNumeric() {
 			return exprVal{}, NewError("non-numeric argument to int()")
 		}
@@ -681,7 +702,10 @@ func applyFunc(name string, args []exprVal) (exprVal, error) {
 		if err := need(1); err != nil {
 			return exprVal{}, err
 		}
-		a := coerce(args[0])
+		a, err := coerce(args[0])
+		if err != nil {
+			return exprVal{}, err
+		}
 		if !a.isNumeric() {
 			return exprVal{}, NewError("non-numeric argument to round()")
 		}
@@ -690,7 +714,10 @@ func applyFunc(name string, args []exprVal) (exprVal, error) {
 		if err := need(1); err != nil {
 			return exprVal{}, err
 		}
-		a := coerce(args[0])
+		a, err := coerce(args[0])
+		if err != nil {
+			return exprVal{}, err
+		}
 		if !a.isNumeric() {
 			return exprVal{}, NewError("non-numeric argument to double()")
 		}
@@ -726,32 +753,26 @@ func applyFunc(name string, args []exprVal) (exprVal, error) {
 	case "ceil":
 		return f1(math.Ceil)
 	case "atan2":
-		if err := need(2); err != nil {
-			return exprVal{}, err
-		}
-		return floatVal(math.Atan2(coerce(args[0]).asFloat(), coerce(args[1]).asFloat())), nil
+		return f2(math.Atan2)
 	case "pow":
-		if err := need(2); err != nil {
-			return exprVal{}, err
-		}
-		return floatVal(math.Pow(coerce(args[0]).asFloat(), coerce(args[1]).asFloat())), nil
+		return f2(math.Pow)
 	case "fmod":
-		if err := need(2); err != nil {
-			return exprVal{}, err
-		}
-		return floatVal(math.Mod(coerce(args[0]).asFloat(), coerce(args[1]).asFloat())), nil
+		return f2(math.Mod)
 	case "hypot":
-		if err := need(2); err != nil {
-			return exprVal{}, err
-		}
-		return floatVal(math.Hypot(coerce(args[0]).asFloat(), coerce(args[1]).asFloat())), nil
+		return f2(math.Hypot)
 	case "min":
 		if len(args) == 0 {
 			return exprVal{}, NewError("min() requires at least one argument")
 		}
-		best := coerce(args[0])
+		best, err := coerce(args[0])
+		if err != nil {
+			return exprVal{}, err
+		}
 		for _, a := range args[1:] {
-			c := coerce(a)
+			c, err := coerce(a)
+			if err != nil {
+				return exprVal{}, err
+			}
 			if c.asFloat() < best.asFloat() {
 				best = c
 			}
@@ -761,9 +782,15 @@ func applyFunc(name string, args []exprVal) (exprVal, error) {
 		if len(args) == 0 {
 			return exprVal{}, NewError("max() requires at least one argument")
 		}
-		best := coerce(args[0])
+		best, err := coerce(args[0])
+		if err != nil {
+			return exprVal{}, err
+		}
 		for _, a := range args[1:] {
-			c := coerce(a)
+			c, err := coerce(a)
+			if err != nil {
+				return exprVal{}, err
+			}
 			if c.asFloat() > best.asFloat() {
 				best = c
 			}

@@ -28,36 +28,97 @@ type exprEvaluator struct {
 	// and command substitution is suppressed and operator errors are
 	// ignored, matching the classic parser.
 	skipDepth int
+	// slots holds the pre-fetched operand values of an expr template
+	// (exprSlotNode); nil outside template evaluation.
+	slots []Value
 }
 
 type exprLit struct{ v exprVal }
 
 func (n *exprLit) eval(*exprEvaluator) (exprVal, error) { return n.v, nil }
 
-type exprVarNode struct{ tok token }
+type exprVarNode struct {
+	tok token
+	// ref is this site's variable-pointer cache. Compiled expression
+	// ASTs are per-interpreter (exprCache and Program.loops both are),
+	// so the frame-id/epoch validation in cachedScalar is sound here
+	// for the same reason it is for Program.vrefs.
+	ref varRef
+}
 
 func (n *exprVarNode) eval(ev *exprEvaluator) (exprVal, error) {
 	if ev.skipDepth > 0 {
 		return intVal(0), nil
 	}
+	if !n.tok.hasIdx {
+		// Typed fast path: a plain scalar in the current frame hands
+		// its machine representation straight to the evaluator. Arrays
+		// and missing variables fall through to substToken, which
+		// raises the classic error messages.
+		if v, ok := ev.in.cachedScalar(&n.ref, n.tok.text); ok {
+			return coerce(v.val)
+		}
+	}
 	s, err := ev.in.substToken(n.tok)
 	if err != nil {
 		return exprVal{}, err
 	}
-	return coerce(strVal(s)), nil
+	return coerce(strVal(s))
 }
 
-type exprCmdNode struct{ script *Script }
+type exprCmdNode struct {
+	script *Script
+
+	// Single-expr fast path: when the bracketed script is exactly one
+	// command that compiled to an expr template, the template can be
+	// evaluated directly, skipping a full trip through the script
+	// machinery (nesting bookkeeping, program lookup, instruction
+	// dispatch) per evaluation. Resolved lazily per interpreter; owner
+	// guards against a node ever being shared across interpreters.
+	owner *Interp
+	tmpl  *exprTemplate
+	tcmd  *progCmd
+}
 
 func (n *exprCmdNode) eval(ev *exprEvaluator) (exprVal, error) {
 	if ev.skipDepth > 0 {
 		return intVal(0), nil
 	}
-	s, err := ev.in.EvalScript(n.script)
+	in := ev.in
+	if n.owner != in {
+		n.owner, n.tmpl, n.tcmd = in, nil, nil
+		if n.script != nil && n.script.parseErr == nil {
+			p := in.program(n.script)
+			if len(p.cmds) == 1 {
+				c := &p.cmds[0]
+				if c.end-c.start == 1 && p.insns[c.start].op == opExprTmpl {
+					n.tmpl = p.tmpls[p.insns[c.start].a]
+					n.tcmd = c
+				}
+			}
+		}
+	}
+	// The direct path is valid only under exactly the conditions where
+	// execScript would have reached the same opExprTmpl with nothing
+	// observable in between: bytecode engine, no profiler, expr still
+	// the builtin, and an enclosing evaluation already on the stack
+	// (at nesting 0 the inner script would run at level 1 and record
+	// its own errorInfo frame, which only evalScriptV reproduces).
+	// A template AST contains no command nodes, so skipping the
+	// nesting increment cannot unbound recursion.
+	if n.tmpl != nil && in.engine == EngineBytecode && in.prof == nil &&
+		in.nesting >= 1 && in.specialGen == in.specialBase {
+		v, _, err := in.execExprTmpl(n.tmpl, n.tcmd)
+		if err != nil {
+			return exprVal{}, err
+		}
+		return coerce(v)
+	}
+	v, err := in.evalScriptV(n.script)
 	if err != nil {
 		return exprVal{}, err
 	}
-	return coerce(strVal(s)), nil
+	return coerce(v)
 }
 
 // exprQuotedNode is a "..." word; like the classic parser it is
@@ -99,6 +160,13 @@ func (n *exprBinaryNode) eval(ev *exprEvaluator) (exprVal, error) {
 	r, err := n.r.eval(ev)
 	if err != nil {
 		return exprVal{}, err
+	}
+	if l.kind == vInt && r.kind == vInt {
+		// A cached spelling on a vInt is always canonical (Value.s), so
+		// the machine words can be combined directly.
+		if v, ok := intBinaryFast(n.op, l.i, r.i); ok {
+			return v, nil
+		}
 	}
 	v, err := applyBinary(n.op, l, r)
 	if err != nil {
@@ -212,7 +280,10 @@ func (n *exprFuncNode) eval(ev *exprEvaluator) (exprVal, error) {
 func applyUnary(op byte, v exprVal) (exprVal, error) {
 	switch op {
 	case '-':
-		v = coerce(v)
+		v, err := coerce(v)
+		if err != nil {
+			return exprVal{}, err
+		}
 		switch v.kind {
 		case vInt:
 			return intVal(-v.i), nil
@@ -221,7 +292,10 @@ func applyUnary(op byte, v exprVal) (exprVal, error) {
 		}
 		return exprVal{}, NewError("can't negate non-numeric %q", v.s)
 	case '+':
-		v = coerce(v)
+		v, err := coerce(v)
+		if err != nil {
+			return exprVal{}, err
+		}
 		if !v.isNumeric() {
 			return exprVal{}, NewError("can't use non-numeric string %q as operand of \"+\"", v.s)
 		}
@@ -229,7 +303,11 @@ func applyUnary(op byte, v exprVal) (exprVal, error) {
 	case '!':
 		b, err := v.asBool()
 		if err != nil {
-			b2, err2 := coerce(v).asBool()
+			c, cerr := coerce(v)
+			if cerr != nil {
+				return exprVal{}, err
+			}
+			b2, err2 := c.asBool()
 			if err2 != nil {
 				return exprVal{}, err
 			}
@@ -237,7 +315,10 @@ func applyUnary(op byte, v exprVal) (exprVal, error) {
 		}
 		return intVal(b2i(!b)), nil
 	case '~':
-		v = coerce(v)
+		v, err := coerce(v)
+		if err != nil {
+			return exprVal{}, err
+		}
 		if v.kind != vInt {
 			return exprVal{}, NewError("can't use non-integer as operand of \"~\"")
 		}
@@ -285,6 +366,9 @@ func scanExprNumber(src string, pos int) (exprVal, int, error) {
 		}
 		iv, err := strconv.ParseInt(src[start:pos], 0, 64)
 		if err != nil {
+			if isRangeErr(err) {
+				return exprVal{}, pos, errIntTooLarge()
+			}
 			return exprVal{}, pos, NewError("bad hex number %q", src[start:pos])
 		}
 		return intVal(iv), pos, nil
@@ -324,12 +408,19 @@ func scanExprNumber(src string, pos int) (exprVal, int, error) {
 	}
 	// Leading zero means octal in classic Tcl.
 	if len(text) > 1 && text[0] == '0' {
-		if iv, err := strconv.ParseInt(text, 8, 64); err == nil {
+		iv, err := strconv.ParseInt(text, 8, 64)
+		if err == nil {
 			return intVal(iv), pos, nil
+		}
+		if isRangeErr(err) {
+			return exprVal{}, pos, errIntTooLarge()
 		}
 	}
 	iv, err := strconv.ParseInt(text, 10, 64)
 	if err != nil {
+		if isRangeErr(err) {
+			return exprVal{}, pos, errIntTooLarge()
+		}
 		return exprVal{}, pos, NewError("bad number %q", text)
 	}
 	return intVal(iv), pos, nil

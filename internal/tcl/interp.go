@@ -91,9 +91,11 @@ type ProcArg struct {
 }
 
 // variable holds a scalar or associative-array value. A variable with a
-// non-nil link is an alias created by upvar/global.
+// non-nil link is an alias created by upvar/global. Scalars hold a
+// typed Value so numbers written by the bytecode engine (incr, set
+// from an expr) keep their machine representation between commands.
 type variable struct {
-	scalar  string
+	val     Value
 	arr     map[string]string
 	isArray bool
 	link    *variable
@@ -106,11 +108,22 @@ func (v *variable) resolve() *variable {
 	return v
 }
 
-// frame is one procedure call frame.
+// frame is one procedure call frame. Frames are pooled (acquireFrame/
+// releaseFrame) and formal parameters are allocated from the frame's
+// storage slab, so a proc call reuses one map and one backing array
+// instead of allocating per call. The slab is safe to recycle because
+// variable links always point from a deeper frame to a shallower one:
+// by the time a frame is released every frame that could alias its
+// variables is already gone.
 type frame struct {
 	vars map[string]*variable
 	// proc is the procedure executing in this frame, nil for the global frame.
 	proc *Proc
+	// storage backs the formal-parameter variables of a pooled frame.
+	storage []variable
+	// id is the activation identity (frameSeq): unique per activation
+	// even when the frame object itself is recycled through the pool.
+	id uint64
 }
 
 // Interp is a Tcl interpreter instance. It is not safe for concurrent
@@ -174,7 +187,100 @@ type Interp struct {
 	profProcChild []int64
 	profProcStack []string
 	profLines     map[*Script][]int
+
+	// engine selects the execution engine: the register-bytecode VM
+	// (default) or the classic tree walker, kept as the differential
+	// oracle and the --tcl-engine=tree escape hatch.
+	engine Engine
+
+	// cmdGen is bumped on every change to the command table; the VM's
+	// inline dispatch caches are valid only while their recorded
+	// generation matches.
+	cmdGen uint64
+
+	// specialGen counts rebinds of the commands the bytecode compiler
+	// specializes (set, incr, expr, while, for); specialBase is its
+	// value right
+	// after New registered the builtins. While they are equal the
+	// builtins are known to still be in place, so the specialized
+	// opcodes may bypass the command table; any later rebind makes the
+	// two diverge forever and every specialized site falls back to
+	// generic dispatch.
+	specialGen  uint64
+	specialBase uint64
+
+	// progCache maps compiled Scripts to their bytecode Programs. It is
+	// per-interpreter (Programs embed interpreter-local inline caches)
+	// and is flushed wholesale when it grows past progCacheMax.
+	progCache map[*Script]*Program
+
+	// framePool and regPool recycle proc call frames and VM register
+	// files (arena-style: grab on entry, release on exit).
+	framePool []*frame
+	regPool   [][]Value
+
+	// argvPool recycles the []string argument vectors built for
+	// command invocations (vm.go opInvoke). Safe because commands do
+	// not retain their argv slice past returning.
+	argvPool [][]string
+
+	// tmplSlots is a scratch buffer for expr-template slot values
+	// (vm.go execExprTmpl); reused across evaluations to avoid
+	// per-expression allocation.
+	tmplSlots []Value
+
+	// evPool recycles exprEvaluators: the evaluator is passed through
+	// the exprNode interface, so a fresh one would escape to the heap
+	// on every expression evaluated.
+	evPool []*exprEvaluator
+
+	// frameSeq hands out a fresh identity to every frame activation
+	// (pooled frame objects are reused, so the pointer is not an
+	// identity); varEpoch counts the events that can invalidate a
+	// cached name->variable resolution anywhere in the interpreter:
+	// unset, upvar/global relinking, scalar-to-array conversion.
+	// Together they validate varRef caches (see cachedScalar).
+	frameSeq uint64
+	varEpoch uint64
 }
+
+// varRef is an inline cache for one compiled variable-access site: the
+// resolved scalar variable, valid while the same frame activation is
+// current and no unset/relink/array conversion has happened since.
+type varRef struct {
+	frameID uint64
+	epoch   uint64
+	v       *variable
+}
+
+// Engine names a Tcl execution engine.
+type Engine int
+
+const (
+	// EngineBytecode compiles scripts to register bytecode (the v2
+	// engine, default).
+	EngineBytecode Engine = iota
+	// EngineTree is the classic tree walker, retained as the
+	// differential oracle and as an escape hatch.
+	EngineTree
+)
+
+// ParseEngine maps a --tcl-engine flag value to an Engine.
+func ParseEngine(name string) (Engine, error) {
+	switch name {
+	case "", "bytecode", "vm":
+		return EngineBytecode, nil
+	case "tree":
+		return EngineTree, nil
+	}
+	return EngineBytecode, fmt.Errorf("unknown tcl engine %q (want bytecode or tree)", name)
+}
+
+// SetEngine selects the execution engine.
+func (in *Interp) SetEngine(e Engine) { in.engine = e }
+
+// CurrentEngine reports the selected execution engine.
+func (in *Interp) CurrentEngine() Engine { return in.engine }
 
 // SetObs attaches (or, with nil, detaches) the observability metrics.
 func (in *Interp) SetObs(m *obs.TclMetrics) { in.obs = m }
@@ -184,7 +290,8 @@ func New() *Interp {
 	in := &Interp{
 		commands:    make(map[string]CommandFunc),
 		procs:       make(map[string]*Proc),
-		frames:      []*frame{{vars: make(map[string]*variable)}},
+		frames:      []*frame{{vars: make(map[string]*variable), id: 1}},
+		frameSeq:    1,
 		maxNesting:  1000,
 		scriptCache: newLRUCache(defaultScriptCacheSize),
 		exprCache:   newLRUCache(defaultExprCacheSize),
@@ -198,6 +305,7 @@ func New() *Interp {
 	registerListCommands(in)
 	registerIOCommands(in)
 	registerBuiltinMetas(in)
+	in.specialBase = in.specialGen
 	return in
 }
 
@@ -209,9 +317,23 @@ func (in *Interp) Output() string {
 	return s
 }
 
+// isSpecializedName reports whether the bytecode compiler emits
+// dedicated opcodes for this command name.
+func isSpecializedName(name string) bool {
+	switch name {
+	case "set", "incr", "expr", "while", "for":
+		return true
+	}
+	return false
+}
+
 // RegisterCommand binds name to fn, replacing any previous binding.
 func (in *Interp) RegisterCommand(name string, fn CommandFunc) {
 	in.commands[name] = fn
+	in.cmdGen++
+	if isSpecializedName(name) {
+		in.specialGen++
+	}
 }
 
 // UnregisterCommand removes a command binding and its metadata.
@@ -219,6 +341,10 @@ func (in *Interp) UnregisterCommand(name string) {
 	delete(in.commands, name)
 	delete(in.procs, name)
 	delete(in.metas, name)
+	in.cmdGen++
+	if isSpecializedName(name) {
+		in.specialGen++
+	}
 }
 
 // HasCommand reports whether name is a registered command or proc.
@@ -287,7 +413,162 @@ func (in *Interp) getVarInFrame(f *frame, name string) (string, error) {
 	if v.isArray {
 		return "", NewError("can't read %q: variable is array", name)
 	}
-	return v.scalar, nil
+	return v.val.String(), nil
+}
+
+// lookupScalar returns the typed value of a plain scalar variable in
+// the current frame. ok is false for missing variables and arrays —
+// callers fall back to the string path, which raises the classic
+// errors.
+func (in *Interp) lookupScalar(name string) (Value, bool) {
+	v, ok := in.currentFrame().vars[name]
+	if !ok {
+		return Value{}, false
+	}
+	v = v.resolve()
+	if v.isArray {
+		return Value{}, false
+	}
+	return v.val, true
+}
+
+// setScalarValue stores a typed value into a plain scalar variable
+// (name must not use the name(index) array form). Floats are
+// normalized on store so the typed engine matches the string engine's
+// format-and-reparse round trip.
+func (in *Interp) setScalarValue(name string, val Value) error {
+	f := in.currentFrame()
+	v, ok := f.vars[name]
+	if !ok {
+		v = &variable{}
+		f.vars[name] = v
+	}
+	v = v.resolve()
+	if v.isArray {
+		return NewError("can't set %q: variable is array", name)
+	}
+	v.val = normFloat(val)
+	return nil
+}
+
+// incrVar adds delta to an integer variable, creating it at 0 like the
+// incr command always has. The typed path avoids the parse/format
+// round trip when the variable already holds a machine integer.
+func (in *Interp) incrVar(name string, delta int64) (Value, error) {
+	base, _, isArr := splitArrayRef(name)
+	if !isArr {
+		f := in.currentFrame()
+		if v, ok := f.vars[base]; ok {
+			rv := v.resolve()
+			if rv.isArray {
+				return Value{}, NewError("can't read %q: variable is array", name)
+			}
+			var cur int64
+			if rv.val.kind == vInt {
+				cur = rv.val.i
+			} else {
+				s := rv.val.String()
+				c, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+				if err != nil {
+					return Value{}, NewError("expected integer but got %q", s)
+				}
+				cur = c
+			}
+			nv := intVal(cur + delta)
+			rv.val = nv
+			return nv, nil
+		}
+		nv := intVal(delta)
+		f.vars[base] = &variable{val: nv}
+		return nv, nil
+	}
+	// Array elements go through the string API.
+	cur := int64(0)
+	if in.VarExists(name) {
+		s, err := in.GetVar(name)
+		if err != nil {
+			return Value{}, err
+		}
+		c, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+		if err != nil {
+			return Value{}, NewError("expected integer but got %q", s)
+		}
+		cur = c
+	}
+	nv := intVal(cur + delta)
+	if err := in.SetVar(name, nv.String()); err != nil {
+		return Value{}, err
+	}
+	return nv, nil
+}
+
+// cachedScalar resolves a plain scalar variable through a per-site
+// inline cache. A hit skips the frame's map lookup entirely; the cache
+// is valid while the same activation (frame id) is current and no
+// unset/upvar/array-conversion has happened since it was filled
+// (varEpoch). Only positive, scalar results are cached: misses and
+// arrays fall back to the classic paths and leave the cache alone, so
+// a stale negative can never shadow a later creation.
+func (in *Interp) cachedScalar(ref *varRef, name string) (*variable, bool) {
+	f := in.currentFrame()
+	if ref.frameID == f.id && ref.epoch == in.varEpoch {
+		return ref.v, true
+	}
+	v, ok := f.vars[name]
+	if !ok {
+		return nil, false
+	}
+	rv := v.resolve()
+	if rv.isArray {
+		return nil, false
+	}
+	ref.frameID, ref.epoch, ref.v = f.id, in.varEpoch, rv
+	return rv, true
+}
+
+// setScalarRef is setScalarValue through a varRef cache. A hit writes
+// straight through the cached pointer; the miss path replicates
+// setScalarValue (including creation) and fills the cache.
+func (in *Interp) setScalarRef(ref *varRef, name string, val Value) error {
+	f := in.currentFrame()
+	if ref.frameID == f.id && ref.epoch == in.varEpoch {
+		ref.v.val = normFloat(val)
+		return nil
+	}
+	v, ok := f.vars[name]
+	if !ok {
+		v = &variable{}
+		f.vars[name] = v
+	}
+	rv := v.resolve()
+	if rv.isArray {
+		return NewError("can't set %q: variable is array", name)
+	}
+	rv.val = normFloat(val)
+	ref.frameID, ref.epoch, ref.v = f.id, in.varEpoch, rv
+	return nil
+}
+
+// incrRef is the scalar-variable incr through a varRef cache.
+func (in *Interp) incrRef(ref *varRef, name string, delta int64) (Value, error) {
+	rv, ok := in.cachedScalar(ref, name)
+	if !ok {
+		return in.incrVar(name, delta)
+	}
+	var cur int64
+	if rv.val.kind == vInt {
+		cur = rv.val.i
+	} else {
+		s := rv.val.String()
+		c, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+		if err != nil {
+			return Value{}, NewError("expected integer but got %q", s)
+		}
+		cur = c
+	}
+	nv := intVal(cur + delta)
+	rv.val = nv
+	return nv, nil
 }
 
 // SetVar sets a variable (or array element, for name(index)) in the
@@ -317,11 +598,12 @@ func (in *Interp) setVarInFrame(f *frame, name, value string) error {
 	v = v.resolve()
 	if isArr {
 		if !v.isArray {
-			if v.scalar != "" {
+			if v.val.String() != "" {
 				return NewError("can't set %q: variable isn't array", name)
 			}
 			v.isArray = true
 			v.arr = make(map[string]string)
+			in.varEpoch++ // scalar became array: cached scalar refs to it are invalid
 		}
 		v.arr[idx] = value
 		return nil
@@ -329,7 +611,7 @@ func (in *Interp) setVarInFrame(f *frame, name, value string) error {
 	if v.isArray {
 		return NewError("can't set %q: variable is array", name)
 	}
-	v.scalar = value
+	v.val = strVal(value)
 	return nil
 }
 
@@ -353,6 +635,7 @@ func (in *Interp) UnsetVar(name string) error {
 		return nil
 	}
 	delete(f.vars, base)
+	in.varEpoch++ // unset: cached refs to this name are invalid
 	return nil
 }
 
@@ -401,6 +684,7 @@ func (in *Interp) linkVar(target *frame, name, localName string) error {
 		target.vars[base] = tv
 	}
 	in.currentFrame().vars[localName] = &variable{link: tv}
+	in.varEpoch++ // relink: localName may have resolved elsewhere before
 	return nil
 }
 
@@ -557,6 +841,35 @@ func (in *Interp) ErrorInfo() string {
 	return v
 }
 
+// acquireFrame grabs a pooled call frame (or makes one) for proc p.
+// Every activation gets a fresh id so varRef caches from a previous
+// tenant of a recycled frame object cannot hit.
+func (in *Interp) acquireFrame(p *Proc) *frame {
+	in.frameSeq++
+	if n := len(in.framePool); n > 0 {
+		f := in.framePool[n-1]
+		in.framePool = in.framePool[:n-1]
+		f.proc = p
+		f.id = in.frameSeq
+		return f
+	}
+	return &frame{vars: make(map[string]*variable, 8), proc: p, id: in.frameSeq}
+}
+
+// releaseFrame clears a frame and returns it to the pool. Must only be
+// called once the frame is off the stack — no live variable can alias
+// the slab then (links point deeper-to-shallower).
+func (in *Interp) releaseFrame(f *frame) {
+	for k := range f.vars {
+		delete(f.vars, k)
+	}
+	f.proc = nil
+	f.storage = f.storage[:0]
+	if len(in.framePool) < 64 {
+		in.framePool = append(in.framePool, f)
+	}
+}
+
 func (in *Interp) callProc(p *Proc, argv []string) (string, error) {
 	if t := in.trace; t != nil {
 		sp := t.StartSpan("proc", p.Name)
@@ -566,9 +879,12 @@ func (in *Interp) callProc(p *Proc, argv []string) (string, error) {
 		done := in.profEnterProc(p.Name)
 		defer done()
 	}
-	f := &frame{vars: make(map[string]*variable), proc: p}
+	f := in.acquireFrame(p)
 	actual := argv[1:]
 	nFormal := len(p.Args)
+	if cap(f.storage) < nFormal {
+		f.storage = make([]variable, 0, nFormal+4)
+	}
 	varArgs := nFormal > 0 && p.Args[nFormal-1].Name == "args"
 	for i, formal := range p.Args {
 		if varArgs && i == nFormal-1 {
@@ -576,25 +892,34 @@ func (in *Interp) callProc(p *Proc, argv []string) (string, error) {
 			if i < len(actual) {
 				rest = actual[i:]
 			}
-			f.vars["args"] = &variable{scalar: FormatList(rest)}
+			f.storage = append(f.storage, variable{val: strVal(FormatList(rest))})
+			f.vars["args"] = &f.storage[len(f.storage)-1]
 			break
 		}
-		v := &variable{}
+		var val string
 		switch {
 		case i < len(actual):
-			v.scalar = actual[i]
+			val = actual[i]
 		case formal.HasDefault:
-			v.scalar = formal.Default
+			val = formal.Default
 		default:
+			in.releaseFrame(f)
 			return "", NewError("no value given for parameter %q to %q", formal.Name, p.Name)
 		}
-		f.vars[formal.Name] = v
+		// Interned so numeric arguments (the common case for compute
+		// procs) arrive typed and loop bodies never re-parse them.
+		f.storage = append(f.storage, variable{val: internValue(val)})
+		f.vars[formal.Name] = &f.storage[len(f.storage)-1]
 	}
 	if !varArgs && len(actual) > nFormal {
+		in.releaseFrame(f)
 		return "", NewError("called %q with too many arguments", p.Name)
 	}
 	in.frames = append(in.frames, f)
-	defer func() { in.frames = in.frames[:len(in.frames)-1] }()
+	defer func() {
+		in.frames = in.frames[:len(in.frames)-1]
+		in.releaseFrame(f)
+	}()
 	if p.compiled == nil {
 		p.compiled = compileScript(p.Body)
 	}

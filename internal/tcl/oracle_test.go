@@ -1,0 +1,242 @@
+package tcl
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// This file is the differential oracle of execution engine v2: the
+// tree walker (EngineTree) defines the semantics, and every test here
+// checks that the bytecode engine (EngineBytecode) is observationally
+// identical — results, error strings, accumulated output, errorInfo
+// tracebacks, and the final global variable state.
+
+// oracleRun evaluates src on a fresh interpreter with the given engine
+// and reports everything an engine difference could show up in.
+func oracleRun(e Engine, src string) (result, errstr, out, errorInfo, vars string) {
+	in := New()
+	in.SetEngine(e)
+	res, err := in.Eval(src)
+	result = res
+	if err != nil {
+		errstr = err.Error()
+	}
+	out = in.Output()
+	if info, e := in.Eval("set errorInfo"); e == nil {
+		errorInfo = info
+	}
+	vars = globalVarDump(in)
+	return
+}
+
+// globalVarDump renders the global frame's variables in sorted order:
+// scalars as name=value, arrays as name(idx)=value per element.
+func globalVarDump(in *Interp) string {
+	f := in.globalFrame()
+	var lines []string
+	for name, v := range f.vars {
+		if name == "errorInfo" {
+			continue
+		}
+		rv := v.resolve()
+		if rv.isArray {
+			for idx, val := range rv.arr {
+				lines = append(lines, name+"("+idx+")="+val)
+			}
+			continue
+		}
+		lines = append(lines, name+"="+rv.val.String())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// oracleCheck runs src under both engines and reports any divergence.
+func oracleCheck(t *testing.T, src string) {
+	t.Helper()
+	tr, te, tout, tinfo, tvars := oracleRun(EngineTree, src)
+	br, be, bout, binfo, bvars := oracleRun(EngineBytecode, src)
+	if tr != br {
+		t.Errorf("script %q: results differ\ntree:     %q\nbytecode: %q", src, tr, br)
+	}
+	if te != be {
+		t.Errorf("script %q: errors differ\ntree:     %q\nbytecode: %q", src, te, be)
+	}
+	if tout != bout {
+		t.Errorf("script %q: output differs\ntree:     %q\nbytecode: %q", src, tout, bout)
+	}
+	if tinfo != binfo {
+		t.Errorf("script %q: errorInfo differs\ntree:\n%s\nbytecode:\n%s", src, tinfo, binfo)
+	}
+	if tvars != bvars {
+		t.Errorf("script %q: global variables differ\ntree:\n%s\nbytecode:\n%s", src, tvars, bvars)
+	}
+}
+
+// TestOracleEngineCorpus runs the shared differential corpus — every
+// construct the compiled pipeline caches — under both engines.
+func TestOracleEngineCorpus(t *testing.T) {
+	for _, src := range differentialCorpus {
+		oracleCheck(t, src)
+	}
+}
+
+// TestOracleEngineSweep pins the behaviors found (or deliberately
+// preserved) during the bug sweep of the tree walker. Each entry is a
+// golden: both engines must agree, and where a value is asserted it is
+// the classic Tcl answer.
+func TestOracleEngineSweep(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		// Integer-syntax literals that overflow int64 must raise
+		// "integer value too large to represent", not round through the
+		// float parser (the seed silently rounded).
+		{"int-overflow-literal", "catch {expr {9223372036854775808 + 0}} m; set m"},
+		{"int-overflow-var", "set x 9223372036854775808; catch {expr {$x + 1}} m; set m"},
+		{"int-overflow-incr", "set x 99999999999999999999; catch {incr x} m; set m"},
+		// incr accepts what the base-0 integer parser accepts —
+		// surrounding whitespace, hex, a leading sign — and rejects the
+		// rest with the classic message.
+		{"incr-whitespace", "set x { 5 }; incr x 2"},
+		{"incr-hex", "set x 0x10; incr x"},
+		{"incr-plus-sign", "set x +5; catch {incr x 2} m; set m"},
+		{"incr-float-reject", "set x 1.5; catch {incr x} m; set m"},
+		{"incr-creates", "incr fresh 3; set fresh"},
+		// A break raised by for's next script terminates the loop
+		// (Tcl_ForObjCmd), while one from the body does the same; both
+		// must agree between the engines and the specialized opcode.
+		{"for-next-break", "set r {}; for {set i 0} {$i < 5} {if {$i == 2} break; incr i} {lappend r $i}; set r"},
+		{"for-body-break", "set r {}; for {set i 0} {$i < 5} {incr i} {if {$i == 3} break; lappend r $i}; set r"},
+		{"while-continue", "set r {}; set i 0; while {$i < 6} {incr i; if {$i % 2} continue; lappend r $i}; set r"},
+		// Canonical-spelling boundary: "09" and " 7" must stay strings
+		// (the numeric parsers disagree about them), so expr sees the
+		// classic behavior.
+		{"octal-like-string", "set x 09; catch {expr {$x + 1}} m; set m"},
+		{"leading-space-number", "set x { 7}; expr {$x + 1}"},
+		// Division and modulo: floor semantics and divide-by-zero.
+		{"floor-div", "expr {-7 / 2}"},
+		{"floor-mod", "expr {-7 % 2}"},
+		{"div-zero", "catch {expr {1 / 0}} m; set m"},
+		{"mod-zero", "set a 1; set b 0; catch {expr {$a % $b}} m; set m"},
+		// Float storage round-trips through the 12-digit rendering.
+		{"float-roundtrip", "set x [expr {1.0 / 3}]; expr {$x == 0.333333333333}"},
+		// upvar aliasing observed through the specialized opcodes.
+		{"upvar-set", "proc bump {v} {upvar $v x; set x [expr {$x + 1}]}\nset n 5; bump n; bump n; set n"},
+		{"upvar-incr", "proc bump {v} {upvar $v x; incr x 10}\nset n 1; bump n; set n"},
+		// unset / re-create between loop iterations (varRef invalidation).
+		{"unset-in-loop", "set r {}; for {set i 0} {$i < 3} {incr i} {set t $i; lappend r $t; unset t}; set r"},
+		// A scalar turning into an array mid-script.
+		{"scalar-to-array", "catch {set x 1; set x(k) v} m; set m"},
+		{"array-after-unset", "set x 1; unset x; set x(k) v; set x(k)"},
+		// Rebinding a specialized command must route the specialized
+		// opcodes back through the command table.
+		{"rebind-incr", "rename incr _incr\nproc incr {v} {uplevel _incr $v 100}\nset n 1; incr n\nset n"},
+		{"rebind-expr", "rename expr _expr\nproc expr {args} {return fixed}\nset a [expr 1 + 1]\nset b [expr {2 + 2}]\nlist $a $b"},
+		// Errors inside loop conditions and bodies.
+		{"while-cond-error", "set i 0; catch {while {$i <} {incr i}} m; set m"},
+		{"for-body-error", "catch {for {set i 0} {$i < 3} {incr i} {error boom$i}} m; set m"},
+		{"while-body-error-info", "proc p {} {set i 0; while {$i < 3} {incr i; badcmd}}\ncatch p m; set m"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { oracleCheck(t, c.src) })
+	}
+}
+
+// scriptGen produces random but always-terminating Tcl scripts from a
+// small grammar biased toward the constructs the bytecode engine
+// specializes: scalar set/incr, expr in every spelling, while/for with
+// literal braced parts, procs with upvar, catch, unset, arrays.
+type scriptGen struct {
+	r *rand.Rand
+}
+
+func (g *scriptGen) pick(ss ...string) string { return ss[g.r.Intn(len(ss))] }
+
+func (g *scriptGen) varName() string { return g.pick("a", "b", "c", "d", "x", "y") }
+
+func (g *scriptGen) operand() string {
+	switch g.r.Intn(6) {
+	case 0:
+		return fmt.Sprintf("%d", g.r.Intn(200)-100)
+	case 1:
+		return "$" + g.varName()
+	case 2:
+		return fmt.Sprintf("%d.%d", g.r.Intn(10), g.r.Intn(100))
+	case 3:
+		return g.pick("09", "0x1f", "{ 12 }", "9223372036854775808")
+	default:
+		return fmt.Sprintf("%d", g.r.Intn(10))
+	}
+}
+
+func (g *scriptGen) exprSrc() string {
+	op := g.pick("+", "-", "*", "/", "%", "<", "<=", "==", "!=", ">=", ">")
+	e := g.operand() + " " + op + " " + g.operand()
+	if g.r.Intn(4) == 0 {
+		e = e + " " + g.pick("+", "*", "&&", "||") + " " + g.operand()
+	}
+	return e
+}
+
+func (g *scriptGen) stmt(depth int) string {
+	n := g.r.Intn(10)
+	if depth > 2 && n > 5 {
+		n = g.r.Intn(6) // no nesting past depth 2
+	}
+	v := g.varName()
+	switch n {
+	case 0:
+		return "set " + v + " " + g.operand()
+	case 1:
+		return "incr " + v + " " + fmt.Sprintf("%d", g.r.Intn(7)-3)
+	case 2:
+		return "catch {expr {" + g.exprSrc() + "}} " + v
+	case 3:
+		return "catch {expr " + g.exprSrc() + "} " + v
+	case 4:
+		return "lappend r [catch {set " + v + "}]"
+	case 5:
+		return "catch {unset " + v + "}"
+	case 6:
+		// The counter is unique per nesting depth: a nested loop must
+		// not reset an outer loop's counter, or the script never ends.
+		i := fmt.Sprintf("i%d", depth)
+		return "for {set " + i + " 0} {$" + i + " < " + fmt.Sprintf("%d", 1+g.r.Intn(4)) +
+			"} {incr " + i + "} {" + g.stmt(depth+1) + "}"
+	case 7:
+		i := fmt.Sprintf("j%d", depth)
+		return "set " + i + " 0; while {$" + i + " < " + fmt.Sprintf("%d", 1+g.r.Intn(4)) +
+			"} {incr " + i + "; " + g.stmt(depth+1) + "}"
+	case 8:
+		return "if {" + g.exprSrc() + "} {" + g.stmt(depth+1) + "} else {" + g.stmt(depth+1) + "}"
+	default:
+		return "proc p" + v + " {q} {upvar $q t; " + g.stmt(depth+1) + "; return $t}\ncatch {p" + v + " " + v + "} " + v
+	}
+}
+
+func (g *scriptGen) script() string {
+	var b strings.Builder
+	b.WriteString("set r {}\n")
+	for i, n := 0, 2+g.r.Intn(6); i < n; i++ {
+		b.WriteString(g.stmt(0))
+		b.WriteByte('\n')
+	}
+	b.WriteString("lappend r done\nset r")
+	return b.String()
+}
+
+// TestOracleRandomized cross-checks the engines over generated
+// scripts. The seed is fixed so failures replay; bump oracleFuzzN for
+// a deeper local sweep.
+func TestOracleRandomized(t *testing.T) {
+	const oracleFuzzN = 400
+	g := &scriptGen{r: rand.New(rand.NewSource(0x0a11ce))}
+	for i := 0; i < oracleFuzzN; i++ {
+		src := g.script()
+		t.Run(fmt.Sprintf("seed0/%03d", i), func(t *testing.T) { oracleCheck(t, src) })
+	}
+}

@@ -261,12 +261,23 @@ func (in *Interp) compileCached(src string) *Script {
 // tracing is attached, and rooted into the profile when a profiling
 // window is open.
 func (in *Interp) EvalScript(s *Script) (string, error) {
+	v, err := in.evalScriptV(s)
+	return v.String(), err
+}
+
+// evalScriptV is EvalScript returning the typed value of the last
+// command, so a numeric result produced by the bytecode engine (an
+// expr, an incr) crosses nested-script boundaries without a
+// format/re-parse round trip. The returned Value is always
+// "storage-normalized": either a string, or a number whose machine
+// representation round-trips through its string form (normFloat).
+func (in *Interp) evalScriptV(s *Script) (Value, error) {
 	if in.nesting != 0 {
-		return in.evalScript(s)
+		return in.evalScriptBody(s)
 	}
 	m, t, prof := in.obs, in.trace, in.prof
 	if m == nil && t == nil && prof == nil {
-		return in.evalScript(s)
+		return in.evalScriptBody(s)
 	}
 	var sp obs.SpanCtx
 	if t != nil && s != nil {
@@ -276,7 +287,7 @@ func (in *Interp) EvalScript(s *Script) (string, error) {
 		in.profCmdChild = append(in.profCmdChild, 0)
 	}
 	start := time.Now()
-	res, err := in.evalScript(s)
+	res, err := in.evalScriptBody(s)
 	d := time.Since(start)
 	if m != nil {
 		m.Evals.Inc()
@@ -289,33 +300,53 @@ func (in *Interp) EvalScript(s *Script) (string, error) {
 	return res, err
 }
 
-func (in *Interp) evalScript(s *Script) (string, error) {
+// evalScriptBody manages the nesting guard and routes the script to
+// the selected execution engine. The bytecode engine steps aside while
+// a profiling window is open: the tree walker carries the per-site
+// attribution bookkeeping (profInvoke), so profiled evaluation runs
+// there with identical semantics.
+func (in *Interp) evalScriptBody(s *Script) (Value, error) {
 	if s == nil {
-		return "", nil
+		return Value{}, nil
 	}
 	in.nesting++
 	defer func() { in.nesting-- }()
 	if in.nesting > in.maxNesting {
-		return "", NewError("too many nested calls to Eval (infinite loop?)")
+		return Value{}, NewError("too many nested calls to Eval (infinite loop?)")
 	}
 	if in.nesting == 1 {
 		// A fresh top-level evaluation starts a fresh traceback.
 		in.errorUnwinding = false
 	}
-	result := ""
-	for _, cmd := range s.cmds {
+	if in.engine == EngineBytecode && in.prof == nil {
+		return in.execScript(s)
+	}
+	return in.treeExec(s, 0, Value{})
+}
+
+// treeExec is the classic tree-walking evaluator: substitute each
+// command's words, dispatch, repeat. It starts at command index ci
+// with prev as the running result so the bytecode engine can hand a
+// script off mid-way (when a command opened a profiling window).
+// Kept bug-for-bug stable: it is the differential oracle the bytecode
+// engine is checked against.
+func (in *Interp) treeExec(s *Script, ci int, prev Value) (Value, error) {
+	result := prev
+	for _, cmd := range s.cmds[ci:] {
 		argv, err := in.substWords(cmd.words)
 		if err != nil {
-			return "", err
+			return Value{}, err
 		}
 		if len(argv) == 0 {
 			continue
 		}
+		var res string
 		if in.prof != nil {
-			result, err = in.profInvoke(s, cmd, argv)
+			res, err = in.profInvoke(s, cmd, argv)
 		} else {
-			result, err = in.invoke(argv)
+			res, err = in.invoke(argv)
 		}
+		result = strVal(res)
 		if err != nil {
 			if in.nesting == 1 {
 				// The error reached the top level: finish the
@@ -329,7 +360,7 @@ func (in *Interp) evalScript(s *Script) (string, error) {
 	if s.parseErr != nil {
 		// The incremental evaluator runs every command preceding a
 		// malformed one before reporting the parse error; replay that.
-		return "", s.parseErr
+		return Value{}, s.parseErr
 	}
 	return result, nil
 }

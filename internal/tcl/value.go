@@ -1,0 +1,281 @@
+package tcl
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file is the dual string/numeric value representation of
+// execution engine v2. Classic Tcl shimmers every number through its
+// string form; a Value keeps the machine representation (int64 or
+// float64) alongside an optional cached string, so numeric loops
+// (incr counters, expr operands, for/while tests) stay in machine
+// arithmetic and only pay for formatting when a string is actually
+// observed.
+//
+// The zero Value is the empty string: vString must be the zero kind so
+// that a zero-initialized variable reads back as "" exactly like the
+// string-only representation did.
+
+type valKind int
+
+const (
+	vString valKind = iota
+	vInt
+	vFloat
+)
+
+// Value is a Tcl value: a string, or a number that remembers (or
+// lazily produces) its string form. Values are immutable by
+// convention — every operation returns a fresh Value.
+type Value struct {
+	kind valKind
+	i    int64
+	f    float64
+	// s is the string form: authoritative for vString, a cache for
+	// numeric kinds ("" means "format on demand"). Invariant: a numeric
+	// Value only ever caches a canonical spelling — one that every
+	// numeric parser in the interpreter reads back as the same machine
+	// value (internValue for ints, normFloat for floats enforce this) —
+	// so consumers may trust the machine field without consulting s.
+	s string
+}
+
+// exprVal predates Value; the expression evaluator was written against
+// it and the alias keeps that code unchanged.
+type exprVal = Value
+
+func intVal(i int64) Value     { return Value{kind: vInt, i: i} }
+func floatVal(f float64) Value { return Value{kind: vFloat, f: f} }
+func strVal(s string) Value    { return Value{kind: vString, s: s} }
+
+// internValue wraps a string as a Value, upgrading canonical decimal
+// integers — exactly the spellings FormatInt produces: "0" or
+// [-]?[1-9][0-9]* within int64 range — to a typed int that keeps the
+// original text as its cache. Only canonical spellings qualify: for
+// those, the expression lexer, the base-0 integer parser and plain
+// decimal parsing all yield the same number, so a consumer reading the
+// machine value sees exactly what re-parsing the string would have
+// produced. (A value like "09" or " 7" must stay a string: the parsers
+// disagree about it, and which one runs depends on the consumer.)
+func internValue(s string) Value {
+	if len(s) == 0 || len(s) > 20 {
+		return strVal(s)
+	}
+	i := 0
+	if s[0] == '-' {
+		if len(s) == 1 {
+			return strVal(s)
+		}
+		i = 1
+	}
+	if s[i] == '0' {
+		// A lone "0" is canonical; any longer 0-prefixed spelling is
+		// octal or float territory.
+		if i == 0 && len(s) == 1 {
+			return Value{kind: vInt, s: s}
+		}
+		return strVal(s)
+	}
+	for j := i; j < len(s); j++ {
+		if s[j] < '0' || s[j] > '9' {
+			return strVal(s)
+		}
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return strVal(s)
+	}
+	return Value{kind: vInt, i: v, s: s}
+}
+
+func (v Value) String() string {
+	switch v.kind {
+	case vInt:
+		if v.s != "" {
+			return v.s
+		}
+		return strconv.FormatInt(v.i, 10)
+	case vFloat:
+		if v.s != "" {
+			return v.s
+		}
+		return formatFloat(v.f)
+	default:
+		return v.s
+	}
+}
+
+// formatFloat renders like Tcl: always with a decimal point or exponent
+// so the value round-trips as a float.
+func formatFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return "Inf"
+	}
+	if math.IsInf(f, -1) {
+		return "-Inf"
+	}
+	s := strconv.FormatFloat(f, 'g', 12, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+func (v Value) isNumeric() bool { return v.kind != vString }
+
+func (v Value) asFloat() float64 {
+	switch v.kind {
+	case vInt:
+		return float64(v.i)
+	case vFloat:
+		return v.f
+	}
+	return 0
+}
+
+func (v Value) asBool() (bool, error) {
+	switch v.kind {
+	case vInt:
+		return v.i != 0, nil
+	case vFloat:
+		// NaN is not a boolean; the string engine reached the same
+		// conclusion the long way round (ParseBool cannot parse the
+		// "NaN.0" rendering).
+		if math.IsNaN(v.f) {
+			return false, NewError("expected boolean value but got %q", v.String())
+		}
+		return v.f != 0, nil
+	default:
+		return ParseBool(v.s)
+	}
+}
+
+// errIntTooLarge reports an integer-syntax literal whose value does not
+// fit in 64 bits. Classic Tcl raises this; silently falling through to
+// the float parser would round the value (the seed's bug).
+func errIntTooLarge() *Error {
+	return NewError("integer value too large to represent")
+}
+
+// isRangeErr reports whether a strconv failure was a pure overflow: the
+// syntax was a valid integer, only the magnitude did not fit.
+func isRangeErr(err error) bool {
+	ne, ok := err.(*strconv.NumError)
+	return ok && ne.Err == strconv.ErrRange
+}
+
+// coerce turns a value into its numeric form for arithmetic. Numeric
+// kinds come back with the cached string stripped (arithmetic results
+// must format canonically, not echo the operand's spelling); strings
+// parse as integer first, then float. A string with integer syntax
+// whose value overflows int64 is an error — it must not silently round
+// through the float parser.
+func coerce(v Value) (Value, error) {
+	// Tiny so it inlines: already-numeric values pay no call.
+	if v.kind == vInt {
+		if v.s == "" {
+			return v, nil
+		}
+		return Value{kind: vInt, i: v.i}, nil
+	}
+	if v.kind == vFloat {
+		if v.s == "" {
+			return v, nil
+		}
+		return Value{kind: vFloat, f: v.f}, nil
+	}
+	return coerceString(v)
+}
+
+func coerceString(v Value) (Value, error) {
+	t := strings.TrimSpace(v.s)
+	if t == "" {
+		return v, nil
+	}
+	if iv, err := strconv.ParseInt(t, 0, 64); err == nil {
+		return intVal(iv), nil
+	} else if isRangeErr(err) {
+		return Value{}, errIntTooLarge()
+	}
+	if fv, err := strconv.ParseFloat(t, 64); err == nil {
+		return floatVal(fv), nil
+	}
+	return v, nil
+}
+
+// coerceFloat is coerce followed by asFloat (non-numeric strings map
+// to 0, as asFloat always has).
+func coerceFloat(v Value) (float64, error) {
+	c, err := coerce(v)
+	if err != nil {
+		return 0, err
+	}
+	return c.asFloat(), nil
+}
+
+// normFloat prepares a float for storage in a variable. The string
+// engine stored formatFloat(f) and later reads re-parsed it, so a
+// stored float carries only formatFloat precision; normalizing on
+// store keeps the typed engine bit-identical to that round-trip. The
+// formatted string is kept as the cache. A float whose rendering does
+// not parse back (NaN renders as "NaN.0") degrades to the plain
+// string, again matching what a read-back would have produced.
+func normFloat(v Value) Value {
+	// Tiny so it inlines: the common (int or already-normalized)
+	// argument pays no call.
+	if v.kind != vFloat || v.s != "" {
+		return v
+	}
+	return normFloatSlow(v)
+}
+
+func normFloatSlow(v Value) Value {
+	s := formatFloat(v.f)
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return strVal(s)
+	}
+	return Value{kind: vFloat, f: f, s: s}
+}
+
+// pureNumberValue reports whether s is exactly one numeric literal as
+// the expression lexer would scan it (optional surrounding space, one
+// optional sign). Substituting such a value into re-parsed expression
+// source yields the same operand as using the value directly, which is
+// what lets a multi-word expr compile to a fixed template: classic
+// expr re-joins and re-parses `expr $n % $d` on every evaluation, so
+// the template is only equivalent while every substituted value is a
+// pure number.
+func pureNumberValue(s string) (Value, bool) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return Value{}, false
+	}
+	i := 0
+	neg := false
+	if t[0] == '-' || t[0] == '+' {
+		neg = t[0] == '-'
+		i = 1
+		if i == len(t) {
+			return Value{}, false
+		}
+	}
+	c := t[i]
+	if !(c >= '0' && c <= '9' || c == '.') {
+		return Value{}, false
+	}
+	v, np, err := scanExprNumber(t, i)
+	if err != nil || np != len(t) {
+		return Value{}, false
+	}
+	if neg {
+		if v.kind == vInt {
+			v.i = -v.i
+		} else {
+			v.f = -v.f
+		}
+	}
+	return v, true
+}

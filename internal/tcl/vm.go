@@ -1,0 +1,501 @@
+package tcl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file is the executor of execution engine v2. execScript runs a
+// Script's compiled Program (compile.go): per command, a short run of
+// word instructions fills a register window with typed Values, then a
+// dispatch instruction invokes the command — through an inline cache
+// for literal names, or through a dedicated opcode for the specialized
+// shapes (set/incr/expr). Semantics are defined by the tree walker
+// (script.go treeExec), which is kept as the differential oracle; every
+// observable behavior here — results, error strings, errorInfo
+// tracebacks, dispatch metrics — must match it exactly.
+
+// execScript executes s under the bytecode engine. The caller
+// (evalScriptBody) has already done the nesting bookkeeping. If a
+// command opens a profiling window mid-script, the remainder is handed
+// to the tree walker, which carries the profiler's per-site
+// attribution.
+func (in *Interp) execScript(s *Script) (Value, error) {
+	return in.execProgram(in.program(s), s)
+}
+
+func (in *Interp) execProgram(p *Program, s *Script) (Value, error) {
+	var regs []Value
+	if p.nregs > 0 {
+		regs = in.acquireRegs(p.nregs)
+	}
+	release := func() {
+		if regs != nil {
+			in.releaseRegs(regs)
+		}
+	}
+	var result Value
+	for ci := range p.cmds {
+		if in.prof != nil {
+			release()
+			return in.treeExec(s, p.cmds[ci].srcIdx, result)
+		}
+		res, name, err := in.execCmd(p, &p.cmds[ci], regs)
+		if err != nil {
+			release()
+			if in.nesting == 1 && name != "" {
+				// The error reached the top level from a command
+				// invocation (not from word substitution): finish the
+				// traceback, exactly as the tree walker does.
+				in.recordErrorInfo(err, fmt.Sprintf("while executing %q", name))
+				in.errorUnwinding = false
+			}
+			return res, err
+		}
+		result = res
+	}
+	release()
+	if s.parseErr != nil {
+		return Value{}, s.parseErr
+	}
+	return result, nil
+}
+
+// execCmd runs one command's instruction range. It returns the
+// command's result and, when the error came from the invocation itself
+// rather than word substitution, the command name to report in the
+// errorInfo traceback ("" suppresses the entry).
+func (in *Interp) execCmd(p *Program, c *progCmd, regs []Value) (Value, string, error) {
+	insns := p.insns[c.start:c.end]
+	for i := range insns {
+		ins := &insns[i]
+		switch ins.op {
+		case opConst:
+			regs[ins.c] = p.consts[ins.a]
+
+		case opVar:
+			name := p.names[ins.a]
+			if v, ok := in.cachedScalar(&p.vrefs[ins.a], name); ok {
+				regs[ins.c] = v.val
+				continue
+			}
+			// Missing variable or array: GetVar raises the classic
+			// error message.
+			s, err := in.GetVar(name)
+			if err != nil {
+				return Value{}, "", err
+			}
+			regs[ins.c] = strVal(s)
+
+		case opWord:
+			s, err := in.substWord(p.words[ins.a])
+			if err != nil {
+				return Value{}, "", err
+			}
+			regs[ins.c] = strVal(s)
+
+		case opScript:
+			v, err := in.evalScriptV(p.subs[ins.a])
+			if err != nil {
+				return Value{}, "", err
+			}
+			regs[ins.c] = v
+
+		case opInvoke:
+			argv := in.acquireArgv(int(ins.b))
+			for j := range argv {
+				argv[j] = regs[int(ins.a)+j].String()
+			}
+			name := argv[0]
+			if m := in.obs; m != nil {
+				m.Dispatch.Inc(name)
+			}
+			var fn CommandFunc
+			if ins.c >= 0 {
+				ca := &p.caches[ins.c]
+				if ca.fn != nil && ca.gen == in.cmdGen {
+					fn = ca.fn
+				} else if f, ok := in.commands[name]; ok {
+					ca.gen, ca.fn = in.cmdGen, f
+					fn = f
+				}
+			} else if f, ok := in.commands[name]; ok {
+				fn = f
+			}
+			if fn == nil {
+				if in.Unknown != nil {
+					res, err := in.Unknown(in, argv)
+					in.releaseArgv(argv)
+					return strVal(res), name, err
+				}
+				in.releaseArgv(argv)
+				return Value{}, name, NewError("invalid command name %q", name)
+			}
+			res, err := fn(in, argv)
+			in.releaseArgv(argv)
+			return strVal(res), name, err
+
+		case opSet:
+			// The specialized shapes bypass the command table, so they
+			// must re-check that the builtin is still bound
+			// (specialGen) before running its semantics directly.
+			if in.specialGen != in.specialBase {
+				return in.execGenericFallback(c)
+			}
+			if m := in.obs; m != nil {
+				m.Dispatch.Inc("set")
+			}
+			nv := normFloat(regs[ins.b])
+			if err := in.setScalarRef(&p.vrefs[ins.a], p.names[ins.a], nv); err != nil {
+				return Value{}, "set", err
+			}
+			return nv, "set", nil
+
+		case opIncr:
+			if in.specialGen != in.specialBase {
+				return in.execGenericFallback(c)
+			}
+			if m := in.obs; m != nil {
+				m.Dispatch.Inc("incr")
+			}
+			v, err := in.incrRef(&p.vrefs[ins.a], p.names[ins.a], int64(ins.b))
+			if err != nil {
+				return Value{}, "incr", err
+			}
+			return v, "incr", nil
+
+		case opExpr:
+			if in.specialGen != in.specialBase {
+				return in.execGenericFallback(c)
+			}
+			if m := in.obs; m != nil {
+				m.Dispatch.Inc("expr")
+			}
+			ev := in.acquireEval()
+			v, err := p.exprs[ins.a].eval(ev)
+			in.releaseEval(ev)
+			if err != nil {
+				return Value{}, "expr", err
+			}
+			return normFloat(v), "expr", nil
+
+		case opExprTmpl:
+			if in.specialGen != in.specialBase {
+				return in.execGenericFallback(c)
+			}
+			return in.execExprTmpl(p.tmpls[ins.a], c)
+
+		case opWhile:
+			// Mirrors cmdWhile exactly, minus the per-invocation script
+			// parse and the per-iteration expression-cache lookups.
+			if in.specialGen != in.specialBase {
+				return in.execGenericFallback(c)
+			}
+			if m := in.obs; m != nil {
+				m.Dispatch.Inc("while")
+			}
+			return Value{}, "while", in.runWhile(&p.loops[ins.a])
+
+		case opFor:
+			// Mirrors cmdFor, including Tcl_ForObjCmd's rule that a
+			// break raised by the next script terminates the loop.
+			if in.specialGen != in.specialBase {
+				return in.execGenericFallback(c)
+			}
+			if m := in.obs; m != nil {
+				m.Dispatch.Inc("for")
+			}
+			return Value{}, "for", in.runFor(&p.loops[ins.a])
+		}
+	}
+	// Unreachable: every non-empty command ends in a dispatch
+	// instruction.
+	return Value{}, "", nil
+}
+
+// execGenericFallback runs a command whose specialized opcode has been
+// invalidated (set/incr/expr was rebound) through the full
+// substitute-and-dispatch path.
+func (in *Interp) execGenericFallback(c *progCmd) (Value, string, error) {
+	argv, err := in.substWords(c.src.words)
+	if err != nil {
+		return Value{}, "", err
+	}
+	if len(argv) == 0 {
+		return Value{}, "", nil
+	}
+	res, err := in.invoke(argv)
+	return strVal(res), argv[0], err
+}
+
+// execExprTmpl evaluates a compiled expr template: fetch every slot
+// variable, verify each value is a pure numeric literal, then run the
+// typed AST. Any impurity — a missing variable, an array, a value the
+// expression lexer would not scan as exactly one number — bails to the
+// classic join-and-parse path, which is the defining semantics.
+func (in *Interp) execExprTmpl(t *exprTemplate, c *progCmd) (Value, string, error) {
+	slots := in.tmplSlots[:0]
+	for si, name := range t.vars {
+		rv, ok := in.cachedScalar(&t.refs[si], name)
+		if !ok {
+			in.tmplSlots = slots[:0]
+			return in.execExprTmplBail(c)
+		}
+		v := rv.val
+		if v.kind == vInt {
+			// Ints are always pure (see pureOperandValue); inlined
+			// because this is the hot case of numeric loops.
+			slots = append(slots, Value{kind: vInt, i: v.i})
+			continue
+		}
+		pv, ok := pureOperandValue(v)
+		if !ok {
+			in.tmplSlots = slots[:0]
+			return in.execExprTmplBail(c)
+		}
+		slots = append(slots, pv)
+	}
+	in.tmplSlots = slots[:0]
+	if t.fastOp != "" {
+		if a, b := slots[t.fastL], slots[t.fastR]; a.kind == vInt && b.kind == vInt {
+			if r, ok := intBinaryFast(t.fastOp, a.i, b.i); ok {
+				if m := in.obs; m != nil {
+					m.Dispatch.Inc("expr")
+				}
+				return r, "expr", nil
+			}
+		}
+	}
+	if m := in.obs; m != nil {
+		m.Dispatch.Inc("expr")
+	}
+	ev := in.acquireEval()
+	ev.slots = slots
+	v, err := t.node.eval(ev)
+	in.releaseEval(ev)
+	if err != nil {
+		return Value{}, "expr", err
+	}
+	return normFloat(v), "expr", nil
+}
+
+// execExprTmplBail is the template's escape hatch: substitute the
+// original words and evaluate like cmdExpr. A substitution failure is
+// reported as such (no traceback entry), matching the tree walker's
+// ordering where substitution precedes dispatch.
+func (in *Interp) execExprTmplBail(c *progCmd) (Value, string, error) {
+	argv, err := in.substWords(c.src.words)
+	if err != nil {
+		return Value{}, "", err
+	}
+	if m := in.obs; m != nil {
+		m.Dispatch.Inc("expr")
+	}
+	res, err := in.ExprEval(strings.Join(argv[1:], " "))
+	if err != nil {
+		return Value{}, "expr", err
+	}
+	return strVal(res), "expr", nil
+}
+
+// pureOperandValue prepares a variable's value for use as a template
+// slot. The fast cases are machine numbers with no divergent string
+// form; anything carrying a string is re-scanned with the expression
+// lexer (pureNumberValue) so the slot holds exactly the value the
+// classic substitute-then-parse evaluation would have produced.
+func pureOperandValue(v Value) (Value, bool) {
+	if v.kind == vInt {
+		// Ints are always pure: a cached spelling, if any, is canonical
+		// (see Value.s), so the machine value is exactly what the
+		// classic substitute-then-rescan path would have produced.
+		return Value{kind: vInt, i: v.i}, true
+	}
+	if v.s == "" {
+		switch v.kind {
+		case vFloat:
+			// Normalize through the string round trip first: classic
+			// evaluation would have substituted the formatted text.
+			nv := normFloat(v)
+			if nv.kind == vFloat {
+				return Value{kind: vFloat, f: nv.f}, true
+			}
+			return pureNumberValue(nv.String())
+		}
+		// Zero value: the empty string, never a pure number.
+		return Value{}, false
+	}
+	return pureNumberValue(v.s)
+}
+
+// acquireRegs grabs a register window from the pool (or allocates
+// one). Windows are stack-disciplined — nested execScript calls
+// acquire after their caller and release before it — so a small LIFO
+// pool eliminates steady-state allocation.
+func (in *Interp) acquireRegs(n int) []Value {
+	for k := len(in.regPool); k > 0; k-- {
+		r := in.regPool[k-1]
+		in.regPool = in.regPool[:k-1]
+		if cap(r) >= n {
+			return r[:n]
+		}
+		// Too small to be useful; drop it and try the next.
+	}
+	if n < 8 {
+		return make([]Value, n, 8)
+	}
+	return make([]Value, n)
+}
+
+// acquireArgv grabs an argv buffer for one command invocation from a
+// LIFO pool. Sound because no command retains its argv slice past its
+// return (the values are Go strings, which callees copy by header and
+// which outlive the buffer): the buffer is reused only after the
+// invocation completes, and nested invocations acquire and release in
+// stack order.
+func (in *Interp) acquireArgv(n int) []string {
+	for k := len(in.argvPool); k > 0; k-- {
+		a := in.argvPool[k-1]
+		in.argvPool = in.argvPool[:k-1]
+		if cap(a) >= n {
+			return a[:n]
+		}
+	}
+	if n < 8 {
+		return make([]string, n, 8)
+	}
+	return make([]string, n)
+}
+
+func (in *Interp) releaseArgv(a []string) {
+	for i := range a {
+		a[i] = ""
+	}
+	if len(in.argvPool) < 32 {
+		in.argvPool = append(in.argvPool, a)
+	}
+}
+
+func (in *Interp) releaseRegs(r []Value) {
+	for i := range r {
+		r[i] = Value{} // drop string references
+	}
+	if len(in.regPool) < 32 {
+		in.regPool = append(in.regPool, r)
+	}
+}
+
+// runWhile is the body of opWhile: cmdWhile's exact control flow, with
+// the condition evaluated as a pre-compiled typed AST (the same
+// evaluation ExprBool performs after its cache lookup) and one
+// evaluator reused across iterations.
+func (in *Interp) runWhile(li *loopInfo) error {
+	ev := in.acquireEval()
+	defer in.releaseEval(ev)
+	for {
+		v, err := li.cond.eval(ev)
+		if err != nil {
+			return err
+		}
+		ok, err := v.asBool()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if _, err := in.execLoopScript(&li.body); err != nil {
+			var te *Error
+			if asTclError(err, &te) {
+				if te.Code == CodeBreak {
+					return nil
+				}
+				if te.Code == CodeContinue {
+					continue
+				}
+			}
+			return err
+		}
+	}
+}
+
+// runFor is the body of opFor: cmdFor's exact control flow, including
+// Tcl_ForObjCmd's rule that a break raised by the next script
+// terminates the loop.
+func (in *Interp) runFor(li *loopInfo) error {
+	if _, err := in.execLoopScript(&li.init); err != nil {
+		return err
+	}
+	ev := in.acquireEval()
+	defer in.releaseEval(ev)
+	for {
+		v, err := li.cond.eval(ev)
+		if err != nil {
+			return err
+		}
+		ok, err := v.asBool()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if _, err := in.execLoopScript(&li.body); err != nil {
+			var te *Error
+			if asTclError(err, &te) {
+				if te.Code == CodeBreak {
+					return nil
+				}
+				if te.Code != CodeContinue {
+					return err
+				}
+			} else {
+				return err
+			}
+		}
+		if _, err := in.execLoopScript(&li.next); err != nil {
+			var te *Error
+			if asTclError(err, &te) && te.Code == CodeBreak {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// execLoopScript is evalScriptV for a loop's pre-compiled script: the
+// same nesting bookkeeping, minus the Program cache lookup (the loop
+// compiler resolved it once). Loops only run at nesting >= 1, so the
+// top-level instrumentation branch of evalScriptV cannot apply, and
+// the nesting==1 traceback reset in evalScriptBody cannot fire.
+func (in *Interp) execLoopScript(ls *loopScript) (Value, error) {
+	in.nesting++
+	defer func() { in.nesting-- }()
+	if in.nesting > in.maxNesting {
+		return Value{}, NewError("too many nested calls to Eval (infinite loop?)")
+	}
+	if in.engine == EngineBytecode && in.prof == nil {
+		return in.execProgram(ls.prog, ls.script)
+	}
+	return in.treeExec(ls.script, 0, Value{})
+}
+
+// acquireEval grabs a pooled exprEvaluator. Evaluations nest (a
+// bracketed command inside an expression can itself evaluate
+// expressions), so this is a free list rather than a single scratch
+// slot.
+func (in *Interp) acquireEval() *exprEvaluator {
+	if n := len(in.evPool); n > 0 {
+		ev := in.evPool[n-1]
+		in.evPool = in.evPool[:n-1]
+		return ev
+	}
+	return &exprEvaluator{in: in}
+}
+
+func (in *Interp) releaseEval(ev *exprEvaluator) {
+	ev.slots = nil
+	ev.skipDepth = 0
+	if len(in.evPool) < 16 {
+		in.evPool = append(in.evPool, ev)
+	}
+}

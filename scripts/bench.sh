@@ -239,6 +239,96 @@ if [ "${1:-}" = "serve" ]; then
     exit $status
 fi
 
+# The `tclvm` mode guards the execution-engine-v2 work. It runs the
+# paired engine-comparison benchmarks (tree walker vs bytecode VM on
+# identical workloads, in one process, so machine drift cancels) plus
+# the F4/T1 end-to-end paths, and writes BENCH_tclvm.json. Gates:
+# the bytecode engine must run prime-factors at least
+# TCLVM_MIN_SPEEDUP (default 2.0) times faster than the tree walker,
+# a bytecode proc call must allocate at most TCLVM_MAX_PROC_ALLOCS
+# (default 4) objects, and F4/T1 must stay within TCLVM_NOISE_PCT
+# (default 15 %) of the BENCH_eval.json seed.
+if [ "${1:-}" = "tclvm" ]; then
+    count="${COUNT:-3}"
+    benchtime="${BENCHTIME:-1s}"
+    minspeed="${TCLVM_MIN_SPEEDUP:-2.0}"
+    maxallocs="${TCLVM_MAX_PROC_ALLOCS:-4}"
+    noise="${TCLVM_NOISE_PCT:-15}"
+    status=0
+    out=$(go test -bench 'BenchmarkTcl_EngineCompare|BenchmarkTcl_Interpreter|BenchmarkF4_FrontendRoundTrip$|BenchmarkT1_PredefinedCallbacks$' \
+        -benchmem -benchtime "$benchtime" -count "$count" -run '^$' .)
+    printf '%s\n' "$out"
+    printf '%s\n' "$out" | awk -v minspeed="$minspeed" -v maxallocs="$maxallocs" -v noise="$noise" '
+    FNR == NR {
+        if (match($0, /^  "[^"]+"/)) {
+            name = substr($0, 4, RLENGTH - 4)
+            if (match($0, /"ns_per_op": [0-9.]+/))
+                seed[name] = substr($0, RSTART + 13, RLENGTH - 13) + 0
+        }
+        next
+    }
+    /^Benchmark/ {
+        nm = $1
+        sub(/-[0-9]+$/, "", nm)
+        ns[nm] += $3; n[nm]++
+        for (i = 4; i < NF; i++) {
+            if ($(i+1) == "B/op")      b[nm] += $i
+            if ($(i+1) == "allocs/op") a[nm] += $i
+        }
+        if (!(nm in order)) { order[nm] = ++cnt; names[cnt] = nm }
+    }
+    END {
+        fail = 0
+        printf "{\n"
+        for (i = 1; i <= cnt; i++) {
+            k = names[i]
+            printf "  \"%s\": {\"ns_per_op\": %.1f, \"bytes_per_op\": %.1f, \"allocs_per_op\": %.1f},\n", \
+                k, ns[k] / n[k], b[k] / n[k], a[k] / n[k]
+        }
+        tree = "BenchmarkTcl_EngineCompare/prime-factors-60/tree"
+        vm = "BenchmarkTcl_EngineCompare/prime-factors-60/bytecode"
+        if (!(tree in ns) || !(vm in ns)) {
+            print "tclvm: engine-comparison benchmarks missing" > "/dev/stderr"
+            fail = 1; speed = 0
+        } else {
+            speed = (ns[tree] / n[tree]) / (ns[vm] / n[vm])
+            if (speed < minspeed) {
+                printf "tclvm: FAIL bytecode speedup %.2fx under the %.1fx bound\n", speed, minspeed > "/dev/stderr"
+                fail = 1
+            } else
+                printf "tclvm: bytecode runs prime-factors %.2fx faster than the tree walker (bound %.1fx)\n", speed, minspeed > "/dev/stderr"
+        }
+        pc = "BenchmarkTcl_EngineCompare/proc-call/bytecode"
+        if (!(pc in a)) {
+            print "tclvm: proc-call benchmark missing" > "/dev/stderr"; fail = 1
+        } else if (a[pc] / n[pc] > maxallocs) {
+            printf "tclvm: FAIL proc call allocates %.1f/op (bound %d)\n", a[pc] / n[pc], maxallocs > "/dev/stderr"
+            fail = 1
+        } else
+            printf "tclvm: proc call allocates %.1f/op (bound %d)\n", a[pc] / n[pc], maxallocs > "/dev/stderr"
+        nreg = split("BenchmarkF4_FrontendRoundTrip BenchmarkT1_PredefinedCallbacks", regs, " ")
+        for (i = 1; i <= nreg; i++) {
+            k = regs[i]
+            if (!(k in ns) || !(k in seed) || seed[k] <= 0) {
+                printf "tclvm: no seed for %s (regression check skipped)\n", k > "/dev/stderr"
+                continue
+            }
+            d = (ns[k] / n[k] - seed[k]) / seed[k] * 100
+            if (d > noise) {
+                printf "tclvm: FAIL %s regressed %+.2f%% vs seed (bound %s%%)\n", k, d, noise > "/dev/stderr"
+                fail = 1
+            } else
+                printf "tclvm: %s delta %+.2f%% vs seed (bound %s%%)\n", k, d, noise > "/dev/stderr"
+        }
+        printf "  \"_speedup_prime_factors\": %.2f,\n", speed
+        printf "  \"_gate\": \"%s\"\n}\n", (fail ? "FAIL" : "OK")
+        exit fail
+    }' BENCH_eval.json - > BENCH_tclvm.json || status=$?
+    cat BENCH_tclvm.json
+    echo "wrote BENCH_tclvm.json"
+    exit $status
+fi
+
 # The `xrm` mode guards the quark-tree resource database: it runs the
 # resource-path benchmarks, joins them against the BENCH_eval.json seed
 # (recorded with the flat-list matcher) into BENCH_xrm.json, and gates
