@@ -13,6 +13,7 @@ import (
 
 	"wafe/internal/obs"
 	"wafe/internal/tcl"
+	"wafe/internal/xt"
 )
 
 type server struct {
@@ -83,4 +84,33 @@ func goodScan(text string) int {
 func (s *server) badAtomic() int64 {
 	atomic.AddInt64(&s.hits, 1)
 	return s.hits // want atomics
+}
+
+// badRedisplayClass wires a Redisplay proc that clears the whole
+// window and paints without ever looking at the clip.
+var badRedisplayClass = &xt.Class{
+	Name: "vetBad",
+	Redisplay: func(w *xt.Widget) {
+		d := w.Display()
+		d.ClearWindow(w.Window())                      // want redisplayclip
+		d.DrawString(w.Window(), d.NewGC(), 2, 12, "x") // want redisplayclip
+	},
+}
+
+// goodRedisplayClass consults the clip in a helper one call deep; the
+// rule must follow the closure and stay quiet.
+var goodRedisplayClass = &xt.Class{
+	Name:      "vetGood",
+	Redisplay: goodRedisplay,
+}
+
+func goodRedisplay(w *xt.Widget) {
+	goodRedisplayPaint(w)
+}
+
+func goodRedisplayPaint(w *xt.Widget) {
+	if !w.ClipIntersects(2, 2, 10, 10) {
+		return
+	}
+	w.Display().DrawString(w.Window(), w.Display().NewGC(), 2, 12, "x")
 }

@@ -26,6 +26,13 @@ import (
 //	             not be silently discarded.
 //	atomics    — a field accessed through sync/atomic in one place
 //	             must never be read or written plainly elsewhere.
+//	redisplayclip — Redisplay procs run under the damage-region
+//	             pipeline: the dispatcher clears the damage rect and
+//	             sets the clip before calling them, so a proc (or any
+//	             same-package helper it calls) that issues draw
+//	             primitives without ever consulting Widget.Clip/
+//	             ClipIntersects repaints blind, and one that calls
+//	             Display.ClearWindow wipes paint outside its clip.
 //
 // Findings on a line (or the line below) a "//wafevet:ignore rule"
 // comment are suppressed.
@@ -151,6 +158,7 @@ func (v *Vet) CheckDir(dir string) ([]Diagnostic, error) {
 		fc.checkScan(f)
 	}
 	fc.checkAtomics(files)
+	fc.checkRedisplayClip(files)
 	SortDiagnostics(fc.diags)
 	return fc.diags, nil
 }
@@ -680,6 +688,170 @@ func (fc *vetCheck) checkScan(f *ast.File) {
 		}
 		return true
 	})
+}
+
+// ---------------------------------------------------------------- redisplayclip
+
+const (
+	xprotoPkgPath = modulePath + "/internal/xproto"
+	xtPkgPath     = modulePath + "/internal/xt"
+)
+
+// drawPrimitives are the Display methods that put ink on a window.
+var drawPrimitives = map[string]bool{
+	"DrawString": true, "FillRectangle": true, "DrawLine": true,
+	"DrawRectangle": true, "DrawPoint": true, "CopyPixmap": true,
+}
+
+// redrawFacts summarises one function body for the redisplayclip rule.
+type redrawFacts struct {
+	calls        []types.Object // same-package functions called
+	firstDraw    token.Pos      // first draw-primitive call, if any
+	firstDrawSel string
+	clearCalls   []token.Pos // Display.ClearWindow call sites
+	consultsClip bool        // calls Widget.Clip or Widget.ClipIntersects
+}
+
+// checkRedisplayClip finds every Redisplay proc wired into an xt.Class
+// composite literal and walks its transitive same-package call closure.
+// A closure that reaches a draw primitive without ever consulting the
+// widget clip is flagged at the first draw site; any ClearWindow call
+// in the closure is flagged unconditionally (clearing is the damage
+// dispatcher's job, bounded to the damage rect).
+func (fc *vetCheck) checkRedisplayClip(files []*ast.File) {
+	// Facts for every package-level function, keyed by its object.
+	declFacts := make(map[types.Object]*redrawFacts)
+	// Redisplay roots: named functions and inline literals.
+	var rootObjs []types.Object
+	var rootLits []*ast.FuncLit
+
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				if obj := fc.info.Defs[fn.Name]; obj != nil {
+					declFacts[obj] = fc.redrawFactsOf(fn.Body)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			kv, ok := n.(*ast.KeyValueExpr)
+			if !ok {
+				return true
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok || key.Name != "Redisplay" {
+				return true
+			}
+			switch v := kv.Value.(type) {
+			case *ast.Ident:
+				if obj := fc.info.Uses[v]; obj != nil {
+					rootObjs = append(rootObjs, obj)
+				}
+			case *ast.FuncLit:
+				rootLits = append(rootLits, v)
+			}
+			return true
+		})
+	}
+	if len(rootObjs) == 0 && len(rootLits) == 0 {
+		return
+	}
+
+	// closure folds the facts reachable from a root into one summary.
+	type finding struct {
+		pos token.Pos
+		msg string
+	}
+	var findings []finding
+	analyze := func(root *redrawFacts) {
+		seen := make(map[types.Object]bool)
+		var agg redrawFacts
+		var fold func(ft *redrawFacts)
+		fold = func(ft *redrawFacts) {
+			if ft == nil {
+				return
+			}
+			if agg.firstDraw == token.NoPos && ft.firstDraw != token.NoPos {
+				agg.firstDraw, agg.firstDrawSel = ft.firstDraw, ft.firstDrawSel
+			}
+			agg.clearCalls = append(agg.clearCalls, ft.clearCalls...)
+			agg.consultsClip = agg.consultsClip || ft.consultsClip
+			for _, callee := range ft.calls {
+				if !seen[callee] {
+					seen[callee] = true
+					fold(declFacts[callee])
+				}
+			}
+		}
+		fold(root)
+		for _, pos := range agg.clearCalls {
+			findings = append(findings, finding{pos,
+				"Redisplay proc calls Display.ClearWindow: the damage dispatcher already cleared the damage rect; clearing the whole window repaints outside the clip"})
+		}
+		if agg.firstDraw != token.NoPos && !agg.consultsClip {
+			findings = append(findings, finding{agg.firstDraw, fmt.Sprintf(
+				"Redisplay proc draws (%s) without consulting Widget.Clip or ClipIntersects anywhere in its call closure; clipped partial redraws will repaint everything", agg.firstDrawSel)})
+		}
+	}
+	for _, obj := range rootObjs {
+		analyze(declFacts[obj])
+	}
+	for _, lit := range rootLits {
+		analyze(fc.redrawFactsOf(lit.Body))
+	}
+
+	// Report per file so ignore directives of the right file apply.
+	for _, f := range files {
+		fc.ignores = scanVetIgnores(fc.v.fset, f)
+		fname := fc.v.fset.Position(f.Pos()).Filename
+		for _, fd := range findings {
+			if fc.v.fset.Position(fd.pos).Filename == fname {
+				fc.report(fd.pos, "redisplayclip", "%s", fd.msg)
+			}
+		}
+	}
+}
+
+// redrawFactsOf scans one function body for draw primitives, clip
+// consults, ClearWindow calls and same-package callees. FuncLits
+// nested in the body are folded into it: they run as part of the
+// repaint if they run at all.
+func (fc *vetCheck) redrawFactsOf(body *ast.BlockStmt) *redrawFacts {
+	ft := &redrawFacts{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if obj, ok := fc.info.Uses[fun].(*types.Func); ok && obj.Pkg() == fc.pkg {
+				ft.calls = append(ft.calls, obj)
+			}
+		case *ast.SelectorExpr:
+			recv, ok := fc.info.Types[fun.X]
+			if !ok {
+				return true
+			}
+			name := fun.Sel.Name
+			switch recv.Type.String() {
+			case "*" + xprotoPkgPath + ".Display":
+				if drawPrimitives[name] {
+					if ft.firstDraw == token.NoPos {
+						ft.firstDraw, ft.firstDrawSel = call.Pos(), name
+					}
+				} else if name == "ClearWindow" {
+					ft.clearCalls = append(ft.clearCalls, call.Pos())
+				}
+			case "*" + xtPkgPath + ".Widget":
+				if name == "Clip" || name == "ClipIntersects" {
+					ft.consultsClip = true
+				}
+			}
+		}
+		return true
+	})
+	return ft
 }
 
 // ---------------------------------------------------------------- atomics

@@ -1219,16 +1219,31 @@ func (w *Wafe) cmdSendKeys(argv []string) (string, error) {
 	return "", nil
 }
 
+// cmdSendExpose injects an Expose for a widget, whole-window or for one
+// damage rectangle: sendExpose widget ?x y w h?
 func (w *Wafe) cmdSendExpose(argv []string) (string, error) {
-	if len(argv) != 2 {
-		return "", tcl.NewError("wrong # args: should be \"sendExpose widget\"")
+	if len(argv) != 2 && len(argv) != 6 {
+		return "", tcl.NewError("wrong # args: should be \"sendExpose widget ?x y w h?\"")
 	}
 	wid, err := w.widgetArg(argv[1])
 	if err != nil {
 		return "", err
 	}
+	x, y, ew, eh := 0, 0, 0, 0
+	if len(argv) == 6 {
+		var errs [4]error
+		x, errs[0] = strconv.Atoi(argv[2])
+		y, errs[1] = strconv.Atoi(argv[3])
+		ew, errs[2] = strconv.Atoi(argv[4])
+		eh, errs[3] = strconv.Atoi(argv[5])
+		for _, e := range errs {
+			if e != nil {
+				return "", tcl.NewError("bad damage rectangle %q %q %q %q", argv[2], argv[3], argv[4], argv[5])
+			}
+		}
+	}
 	if wid.IsRealized() {
-		wid.Display().InjectExpose(wid.Window())
+		wid.Display().InjectExposeRect(wid.Window(), x, y, ew, eh)
 		w.App.Pump()
 	}
 	return "", nil

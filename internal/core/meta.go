@@ -90,7 +90,7 @@ var coreMetas = []tcl.CommandMeta{
 	// headless event synthesis and inspection
 	{Name: "sendClick", MinArgs: 1, MaxArgs: 4},
 	{Name: "sendKeys", MinArgs: 2, MaxArgs: 2},
-	{Name: "sendExpose", MinArgs: 1, MaxArgs: 1},
+	{Name: "sendExpose", MinArgs: 1, MaxArgs: 5},
 	{Name: "warpPointer", MinArgs: 2, MaxArgs: 2},
 	{Name: "focusWidget", MinArgs: 1, MaxArgs: 1},
 	{Name: "widgetList", MinArgs: 0, MaxArgs: 0},

@@ -29,6 +29,11 @@ type XtMetrics struct {
 	CallbacksFired   Counter
 	ActionsFired     Counter
 
+	// RedrawClipped/RedrawFull split widget repaints by path: clipped
+	// partial redraws against unconditional full-window repaints.
+	RedrawClipped Counter
+	RedrawFull    Counter
+
 	// XrmSearchListHits/Misses count resource-database search-list
 	// cache hits against (re)builds; XrmGeneration mirrors the
 	// database generation counter whose bumps (mergeResources, -xrm,
@@ -39,10 +44,16 @@ type XtMetrics struct {
 }
 
 // XprotoMetrics counts protocol requests per operation (draw requests,
-// window operations) and queued events.
+// window operations), queued events, and the damage-region pipeline:
+// accumulated dirty rects, Expose mutations saved by coalescing, and
+// expose requests dropped because the target window does not select
+// ExposureMask (or does not exist).
 type XprotoMetrics struct {
-	Requests     CounterVec // per op name
-	EventsQueued Counter
+	Requests         CounterVec // per op name
+	EventsQueued     Counter
+	DamageRects      Counter
+	ExposesCoalesced Counter
+	ExposesDropped   Counter
 }
 
 // FrontendMetrics accounts the pipe protocol: line classes, per-line
@@ -172,6 +183,8 @@ func (m *Metrics) SnapshotBase() []Sample {
 		Sample{"xt.posted_queue_depth_max", x.PostedQueueDepth.Max()},
 		Sample{"xt.callbacks_fired", x.CallbacksFired.Load()},
 		Sample{"xt.actions_fired", x.ActionsFired.Load()},
+		Sample{"xt.redraw_clipped", x.RedrawClipped.Load()},
+		Sample{"xt.redraw_full", x.RedrawFull.Load()},
 		Sample{"xt.xrm_searchlist_hits", x.XrmSearchListHits.Load()},
 		Sample{"xt.xrm_searchlist_misses", x.XrmSearchListMisses.Load()},
 		Sample{"xt.xrm_generation", x.XrmGeneration.Load()},
@@ -179,7 +192,12 @@ func (m *Metrics) SnapshotBase() []Sample {
 	out = histSamples("xt.dispatch_latency", &x.DispatchLatency, out)
 
 	p := &m.Xproto
-	out = append(out, Sample{"xproto.events_queued", p.EventsQueued.Load()})
+	out = append(out,
+		Sample{"xproto.events_queued", p.EventsQueued.Load()},
+		Sample{"xproto.damage_rects", p.DamageRects.Load()},
+		Sample{"xproto.exposes_coalesced", p.ExposesCoalesced.Load()},
+		Sample{"xproto.exposes_dropped", p.ExposesDropped.Load()},
+	)
 	out = vecSamples("xproto.requests", &p.Requests, out)
 
 	f := &m.Frontend

@@ -85,9 +85,10 @@ func floatRes(w *xt.Widget, name string) float64 {
 
 func barGraphRedisplay(w *xt.Widget) {
 	d := w.Display()
+	clip := w.Clip()
 	gc := d.NewGC()
 	gc.Foreground = w.PixelRes("background")
-	d.FillRectangle(w.Window(), gc, 0, 0, w.Int("width"), w.Int("height"))
+	d.FillRectangle(w.Window(), gc, clip.X, clip.Y, clip.W, clip.H)
 	vs := Values(w)
 	if len(vs) == 0 {
 		return
@@ -106,8 +107,12 @@ func barGraphRedisplay(w *xt.Widget) {
 	h := w.Int("height")
 	labels := strings.Fields(w.Str("labels"))
 	for i, v := range vs {
-		bh := int((v - lo) / span * float64(h-14))
 		x := sp + i*(bw+sp)
+		// One bar's column spans its fill plus label and value text.
+		if !w.ClipIntersects(x, 0, bw+sp, h) {
+			continue
+		}
+		bh := int((v - lo) / span * float64(h-14))
 		d.FillRectangle(w.Window(), gc, x, h-bh, bw, bh)
 		if i < len(labels) {
 			lgc := d.NewGC()
@@ -162,9 +167,10 @@ var seriesColors = []xproto.Pixel{
 
 func lineGraphRedisplay(w *xt.Widget) {
 	d := w.Display()
+	clip := w.Clip()
 	gc := d.NewGC()
 	gc.Foreground = w.PixelRes("background")
-	d.FillRectangle(w.Window(), gc, 0, 0, w.Int("width"), w.Int("height"))
+	d.FillRectangle(w.Window(), gc, clip.X, clip.Y, clip.W, clip.H)
 	series := SeriesOf(w)
 	if len(series) == 0 {
 		return
@@ -194,7 +200,9 @@ func lineGraphRedisplay(w *xt.Widget) {
 		ggc.Foreground = xproto.Pixel{R: 220, G: 220, B: 220}
 		for i := 1; i <= n; i++ {
 			y := h * i / (n + 1)
-			d.DrawLine(w.Window(), ggc, 0, y, wd, y)
+			if w.ClipIntersects(0, y, wd, 1) {
+				d.DrawLine(w.Window(), ggc, 0, y, wd, y)
+			}
 		}
 	}
 	for si, s := range series {
@@ -202,7 +210,9 @@ func lineGraphRedisplay(w *xt.Widget) {
 		sgc.Foreground = seriesColors[si%len(seriesColors)]
 		if len(s) == 1 {
 			y := h - 1 - int((s[0]-lo)/span*float64(h-2))
-			d.DrawPoint(w.Window(), sgc, 0, y)
+			if w.ClipIntersects(0, y, 1, 1) {
+				d.DrawPoint(w.Window(), sgc, 0, y)
+			}
 			continue
 		}
 		for i := 1; i < len(s); i++ {
@@ -210,7 +220,9 @@ func lineGraphRedisplay(w *xt.Widget) {
 			x1 := i * (wd - 1) / (len(s) - 1)
 			y0 := h - 1 - int((s[i-1]-lo)/span*float64(h-2))
 			y1 := h - 1 - int((s[i]-lo)/span*float64(h-2))
-			d.DrawLine(w.Window(), sgc, x0, y0, x1, y1)
+			if w.ClipIntersects(minI(x0, x1), minI(y0, y1), absI(x1-x0)+1, absI(y1-y0)+1) {
+				d.DrawLine(w.Window(), sgc, x0, y0, x1, y1)
+			}
 		}
 	}
 }
@@ -342,9 +354,10 @@ func graphPreferredSize(w *xt.Widget) (int, int) {
 
 func graphRedisplay(w *xt.Widget) {
 	d := w.Display()
+	clip := w.Clip()
 	gc := d.NewGC()
 	gc.Foreground = w.PixelRes("background")
-	d.FillRectangle(w.Window(), gc, 0, 0, w.Int("width"), w.Int("height"))
+	d.FillRectangle(w.Window(), gc, clip.X, clip.Y, clip.W, clip.H)
 	gc.Foreground = w.PixelRes("foreground")
 	pos := NodePositions(w)
 	nw, nh := w.Int("nodeWidth"), w.Int("nodeHeight")
@@ -354,12 +367,33 @@ func graphRedisplay(w *xt.Widget) {
 		if !okF || !okT {
 			continue
 		}
-		d.DrawLine(w.Window(), gc, f[0]+nw/2, f[1]+nh, t[0]+nw/2, t[1])
+		x0, y0 := f[0]+nw/2, f[1]+nh
+		x1, y1 := t[0]+nw/2, t[1]
+		if w.ClipIntersects(minI(x0, x1), minI(y0, y1), absI(x1-x0)+1, absI(y1-y0)+1) {
+			d.DrawLine(w.Window(), gc, x0, y0, x1, y1)
+		}
 	}
 	for n, p := range pos {
+		if !w.ClipIntersects(p[0], p[1], nw+1, nh+1) {
+			continue
+		}
 		d.DrawRectangle(w.Window(), gc, p[0], p[1], nw, nh)
 		d.DrawString(w.Window(), gc, p[0]+3, p[1]+nh-5, n)
 	}
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func absI(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 // AllClasses returns the plotter classes for the Wafe command layer.

@@ -535,13 +535,16 @@ var DialogClass = &xt.Class{
 	PreferredSize: dialogPreferredSize,
 	Redisplay: func(w *xt.Widget) {
 		d := w.Display()
+		clip := w.Clip()
 		gc := d.NewGC()
 		gc.Foreground = w.PixelRes("background")
-		d.FillRectangle(w.Window(), gc, 0, 0, w.Int("width"), w.Int("height"))
+		d.FillRectangle(w.Window(), gc, clip.X, clip.Y, clip.W, clip.H)
 		gc.Foreground = w.PixelRes("borderColor")
 		f := gc.Font
-		d.DrawString(w.Window(), gc, 4, f.Ascent+2, w.Str("label"))
-		if v := w.Str("value"); v != "" {
+		if label := w.Str("label"); w.ClipIntersects(4, 2, f.TextWidth(label), f.Height()) {
+			d.DrawString(w.Window(), gc, 4, f.Ascent+2, label)
+		}
+		if v := w.Str("value"); v != "" && w.ClipIntersects(4, 2*f.Height()+2-f.Ascent, f.TextWidth(v), f.Height()) {
 			d.DrawString(w.Window(), gc, 4, 2*f.Height()+2, v)
 		}
 	},

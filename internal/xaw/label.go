@@ -74,11 +74,14 @@ func labelBitmap(w *xt.Widget) *xproto.Pixmap {
 func labelRedisplay(w *xt.Widget) {
 	d := w.Display()
 	win := w.Window()
+	clip := w.Clip()
 	gc := d.NewGC()
 	gc.Foreground = w.PixelRes("background")
-	d.FillRectangle(win, gc, 0, 0, w.Int("width"), w.Int("height"))
+	d.FillRectangle(win, gc, clip.X, clip.Y, clip.W, clip.H)
 	if pm := labelBitmap(w); pm != nil {
-		d.CopyPixmap(win, pm, w.Int("internalWidth"), w.Int("internalHeight"))
+		if w.ClipIntersects(w.Int("internalWidth"), w.Int("internalHeight"), pm.Width, pm.Height) {
+			d.CopyPixmap(win, pm, w.Int("internalWidth"), w.Int("internalHeight"))
+		}
 		return
 	}
 	gc.Foreground = w.PixelRes("foreground")
@@ -97,7 +100,9 @@ func labelRedisplay(w *xt.Widget) {
 				x += extra
 			}
 		}
-		d.DrawString(win, gc, x, y, line)
+		if w.ClipIntersects(x, y-f.Ascent, f.TextWidth(line), f.Height()) {
+			d.DrawString(win, gc, x, y, line)
+		}
 		y += f.Height()
 	}
 	text := labelText(w)
@@ -190,11 +195,15 @@ func commandRedisplay(w *xt.Widget) {
 	} else {
 		gc.Foreground = w.PixelRes("topShadowPixel")
 	}
-	d.DrawRectangle(w.Window(), gc, 0, 0, w.Int("width")-1, w.Int("height")-1)
-	if st.highlighted {
-		gc.Foreground = w.PixelRes("foreground")
-		t := w.Int("highlightThickness")
-		d.DrawRectangle(w.Window(), gc, t/2, t/2, w.Int("width")-1-t, w.Int("height")-1-t)
+	// The shadow and highlight rings span the whole widget, so any
+	// non-empty clip intersects them; the check is the clip contract.
+	if w.ClipIntersects(0, 0, w.Int("width"), w.Int("height")) {
+		d.DrawRectangle(w.Window(), gc, 0, 0, w.Int("width")-1, w.Int("height")-1)
+		if st.highlighted {
+			gc.Foreground = w.PixelRes("foreground")
+			t := w.Int("highlightThickness")
+			d.DrawRectangle(w.Window(), gc, t/2, t/2, w.Int("width")-1-t, w.Int("height")-1-t)
+		}
 	}
 }
 
@@ -252,7 +261,7 @@ func toggleRedisplay(w *xt.Widget) {
 	labelRedisplay(w)
 	d := w.Display()
 	gc := d.NewGC()
-	if w.Bool("state") {
+	if w.Bool("state") && w.ClipIntersects(0, 0, w.Int("width"), w.Int("height")) {
 		gc.Foreground = w.PixelRes("foreground")
 		d.DrawRectangle(w.Window(), gc, 0, 0, w.Int("width")-1, w.Int("height")-1)
 		d.DrawRectangle(w.Window(), gc, 1, 1, w.Int("width")-3, w.Int("height")-3)

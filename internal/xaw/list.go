@@ -129,15 +129,42 @@ func listIndexAt(w *xt.Widget, x, y int) int {
 	return idx
 }
 
+// listCellRect returns the cell rectangle of item i, one pixel wider on
+// each side to cover the highlight bar.
+func listCellRect(w *xt.Widget, i int) xproto.Rect {
+	cols := listColumns(w)
+	cw, ch := listCellSize(w)
+	col := i % cols
+	row := i / cols
+	x := w.Int("internalWidth") + col*(cw+w.Int("columnSpacing"))
+	y := w.Int("internalHeight") + row*(ch+w.Int("rowSpacing"))
+	return xproto.Rect{X: x - 1, Y: y, W: cw + 2, H: ch}
+}
+
+// listSetHighlight moves the highlight and repaints only the two cells
+// that changed instead of the whole list.
+func listSetHighlight(w *xt.Widget, idx int) {
+	st := listState(w)
+	old := st.highlight
+	if idx == old {
+		return
+	}
+	st.highlight = idx
+	n := len(listItems(w))
+	if old >= 0 && old < n {
+		w.RedrawRect(listCellRect(w, old))
+	}
+	if idx >= 0 && idx < n {
+		w.RedrawRect(listCellRect(w, idx))
+	}
+}
+
 func listActionSet(w *xt.Widget, ev *xproto.Event, _ []string) {
-	idx := listIndexAt(w, ev.X, ev.Y)
-	listState(w).highlight = idx
-	w.Redraw()
+	listSetHighlight(w, listIndexAt(w, ev.X, ev.Y))
 }
 
 func listActionUnset(w *xt.Widget, _ *xproto.Event, _ []string) {
-	listState(w).highlight = -1
-	w.Redraw()
+	listSetHighlight(w, -1)
 }
 
 func listActionNotify(w *xt.Widget, ev *xproto.Event, _ []string) {
@@ -154,14 +181,12 @@ func listActionNotify(w *xt.Widget, ev *xproto.Event, _ []string) {
 
 // ListHighlight implements XawListHighlight.
 func ListHighlight(w *xt.Widget, index int) {
-	listState(w).highlight = index
-	w.Redraw()
+	listSetHighlight(w, index)
 }
 
 // ListUnhighlight implements XawListUnhighlight.
 func ListUnhighlight(w *xt.Widget) {
-	listState(w).highlight = -1
-	w.Redraw()
+	listSetHighlight(w, -1)
 }
 
 // ListCurrent implements XawListShowCurrent.
@@ -188,9 +213,10 @@ func ListChange(w *xt.Widget, items []string, resize bool) {
 func listRedisplay(w *xt.Widget) {
 	d := w.Display()
 	win := w.Window()
+	clip := w.Clip()
 	gc := d.NewGC()
 	gc.Foreground = w.PixelRes("background")
-	d.FillRectangle(win, gc, 0, 0, w.Int("width"), w.Int("height"))
+	d.FillRectangle(win, gc, clip.X, clip.Y, clip.W, clip.H)
 	gc.Foreground = w.PixelRes("foreground")
 	gc.Font = w.FontRes("font")
 	items := listItems(w)
@@ -202,6 +228,9 @@ func listRedisplay(w *xt.Widget) {
 		row := i / cols
 		x := w.Int("internalWidth") + col*(cw+w.Int("columnSpacing"))
 		y := w.Int("internalHeight") + row*(ch+w.Int("rowSpacing"))
+		if !w.ClipIntersects(x-1, y, cw+2, ch) {
+			continue
+		}
 		if i == hl {
 			d.FillRectangle(win, gc, x-1, y, cw+2, ch)
 			inv := d.NewGC()

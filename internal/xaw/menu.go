@@ -106,14 +106,35 @@ func menuEntryAt(w *xt.Widget, y int) int {
 	return idx
 }
 
+// menuRepaintRow repaints one entry row of the menu (no-op for -1).
+func menuRepaintRow(w *xt.Widget, idx int) {
+	entries := menuEntries(w)
+	if idx < 0 || idx >= len(entries) {
+		return
+	}
+	w.RedrawRect(xproto.Rect{X: 0, Y: entries[idx].Int("y"), W: w.Int("width"), H: menuRowHeight(w)})
+}
+
 func menuHighlight(w *xt.Widget, ev *xproto.Event, _ []string) {
-	menuState(w).highlight = menuEntryAt(w, ev.Y)
-	w.Redraw()
+	st := menuState(w)
+	old := st.highlight
+	idx := menuEntryAt(w, ev.Y)
+	if idx == old {
+		return
+	}
+	st.highlight = idx
+	menuRepaintRow(w, old)
+	menuRepaintRow(w, idx)
 }
 
 func menuUnhighlight(w *xt.Widget, _ *xproto.Event, _ []string) {
-	menuState(w).highlight = -1
-	w.Redraw()
+	st := menuState(w)
+	if st.highlight == -1 {
+		return
+	}
+	old := st.highlight
+	st.highlight = -1
+	menuRepaintRow(w, old)
 }
 
 func menuNotify(w *xt.Widget, ev *xproto.Event, _ []string) {
@@ -174,7 +195,9 @@ var SmeBSBClass = &xt.Class{
 		gc := d.NewGC()
 		gc.Foreground = w.PixelRes("foreground")
 		gc.Font = w.FontRes("font")
-		d.DrawString(w.Window(), gc, w.Int("leftMargin"), gc.Font.Ascent+1, w.Str("label"))
+		if w.ClipIntersects(w.Int("leftMargin"), 1, gc.Font.TextWidth(w.Str("label")), gc.Font.Height()) {
+			d.DrawString(w.Window(), gc, w.Int("leftMargin"), gc.Font.Ascent+1, w.Str("label"))
+		}
 	},
 }
 
@@ -190,19 +213,22 @@ var SmeLineClass = &xt.Class{
 	Redisplay: func(w *xt.Widget) {
 		d := w.Display()
 		gc := d.NewGC()
-		d.DrawLine(w.Window(), gc, 0, 2, w.Int("width"), 2)
+		if w.ClipIntersects(0, 2, w.Int("width"), 1) {
+			d.DrawLine(w.Window(), gc, 0, 2, w.Int("width"), 2)
+		}
 	},
 }
 
 func menuRedisplay(w *xt.Widget) {
 	d := w.Display()
+	clip := w.Clip()
 	gc := d.NewGC()
 	gc.Foreground = w.PixelRes("background")
-	d.FillRectangle(w.Window(), gc, 0, 0, w.Int("width"), w.Int("height"))
+	d.FillRectangle(w.Window(), gc, clip.X, clip.Y, clip.W, clip.H)
 	hl := menuState(w).highlight
 	if hl >= 0 {
 		entries := menuEntries(w)
-		if hl < len(entries) {
+		if hl < len(entries) && w.ClipIntersects(0, entries[hl].Int("y"), w.Int("width"), menuRowHeight(w)) {
 			gcH := d.NewGC()
 			gcH.Foreground = xproto.Pixel{R: 200, G: 200, B: 255}
 			d.FillRectangle(w.Window(), gcH, 0, entries[hl].Int("y"), w.Int("width"), menuRowHeight(w))

@@ -95,8 +95,9 @@ func scrollbarMoveThumb(w *xt.Widget, ev *xproto.Event, _ []string) {
 	if frac > 1 {
 		frac = 1
 	}
+	old := sbThumbRect(w)
 	w.SetResourceValue("topOfThumb", frac)
-	w.Redraw()
+	w.RedrawRect(old.Union(sbThumbRect(w)))
 }
 
 func scrollbarNotifyThumb(w *xt.Widget, _ *xproto.Event, _ []string) {
@@ -113,26 +114,36 @@ func scrollbarNotifyScroll(w *xt.Widget, ev *xproto.Event, _ []string) {
 	w.CallCallbacks("scrollProc", xt.CallData{"d": strconv.Itoa(delta)})
 }
 
-// ScrollbarSetThumb implements XawScrollbarSetThumb.
+// ScrollbarSetThumb implements XawScrollbarSetThumb. Only the union of
+// the old and new thumb rectangles is repainted.
 func ScrollbarSetThumb(w *xt.Widget, top, shown float64) {
+	old := sbThumbRect(w)
 	w.SetResourceValue("topOfThumb", top)
 	w.SetResourceValue("shown", shown)
-	w.Redraw()
+	w.RedrawRect(old.Union(sbThumbRect(w)))
 }
 
-func scrollbarRedisplay(w *xt.Widget) {
-	d := w.Display()
-	gc := d.NewGC()
-	gc.Foreground = w.PixelRes("background")
-	d.FillRectangle(w.Window(), gc, 0, 0, w.Int("width"), w.Int("height"))
-	gc.Foreground = w.PixelRes("foreground")
+// sbThumbRect returns the thumb rectangle in widget coordinates.
+func sbThumbRect(w *xt.Widget) xproto.Rect {
 	length := sbLengthPixels(w)
 	top := int(sbFloat(w, "topOfThumb") * float64(length))
 	size := maxInt(int(sbFloat(w, "shown")*float64(length)), w.Int("minimumThumb"))
 	if w.Str("orientation") == "horizontal" {
-		d.FillRectangle(w.Window(), gc, top, 1, size, w.Int("height")-2)
-	} else {
-		d.FillRectangle(w.Window(), gc, 1, top, w.Int("width")-2, size)
+		return xproto.Rect{X: top, Y: 1, W: size, H: w.Int("height") - 2}
+	}
+	return xproto.Rect{X: 1, Y: top, W: w.Int("width") - 2, H: size}
+}
+
+func scrollbarRedisplay(w *xt.Widget) {
+	d := w.Display()
+	clip := w.Clip()
+	gc := d.NewGC()
+	gc.Foreground = w.PixelRes("background")
+	d.FillRectangle(w.Window(), gc, clip.X, clip.Y, clip.W, clip.H)
+	t := sbThumbRect(w)
+	if w.ClipIntersects(t.X, t.Y, t.W, t.H) {
+		gc.Foreground = w.PixelRes("foreground")
+		d.FillRectangle(w.Window(), gc, t.X, t.Y, t.W, t.H)
 	}
 }
 
@@ -191,13 +202,37 @@ func chartState(w *xt.Widget) *stripChartPrivate {
 
 // StripChartAddSample records a sample and scrolls the chart. The Wafe
 // layer drives it from the getValue callback on a timer.
+//
+// The steady-state path damages only the new sample's column. Two cases
+// still repaint the whole chart: the sample raises the vertical scale
+// (every bar's height changes), and the chart running out of columns —
+// there the samples jump-scroll left by the jumpScroll resource in
+// place, so scroll repaints happen once per jumpScroll samples rather
+// than per sample and the slice never reallocates.
 func StripChartAddSample(w *xt.Widget, v float64) {
 	st := chartState(w)
-	st.samples = append(st.samples, v)
-	if max := maxInt(w.Int("width"), 1); len(st.samples) > max {
-		st.samples = st.samples[len(st.samples)-max:]
+	scale := float64(w.Int("minScale"))
+	for _, s := range st.samples {
+		if s > scale {
+			scale = s
+		}
 	}
-	w.Redraw()
+	if max := maxInt(w.Int("width"), 1); len(st.samples) >= max {
+		j := maxInt(w.Int("jumpScroll"), 1)
+		if j > len(st.samples) {
+			j = len(st.samples)
+		}
+		n := copy(st.samples, st.samples[j:])
+		st.samples = append(st.samples[:n], v)
+		w.Redraw()
+		return
+	}
+	st.samples = append(st.samples, v)
+	if v > scale {
+		w.Redraw()
+		return
+	}
+	w.RedrawRect(xproto.Rect{X: len(st.samples) - 1, Y: 0, W: 1, H: w.Int("height")})
 }
 
 // StripChartSamples returns the recorded samples (for tests).
@@ -207,9 +242,10 @@ func StripChartSamples(w *xt.Widget) []float64 {
 
 func stripChartRedisplay(w *xt.Widget) {
 	d := w.Display()
+	clip := w.Clip()
 	gc := d.NewGC()
 	gc.Foreground = w.PixelRes("background")
-	d.FillRectangle(w.Window(), gc, 0, 0, w.Int("width"), w.Int("height"))
+	d.FillRectangle(w.Window(), gc, clip.X, clip.Y, clip.W, clip.H)
 	gc.Foreground = w.PixelRes("foreground")
 	st := chartState(w)
 	scale := float64(w.Int("minScale"))
@@ -220,6 +256,9 @@ func stripChartRedisplay(w *xt.Widget) {
 	}
 	h := w.Int("height")
 	for i, s := range st.samples {
+		if !w.ClipIntersects(i, 0, 1, h) {
+			continue
+		}
 		bar := int(s / scale * float64(h-2))
 		d.DrawLine(w.Window(), gc, i, h-1, i, h-1-bar)
 	}

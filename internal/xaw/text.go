@@ -383,14 +383,17 @@ func textPreferredSize(w *xt.Widget) (int, int) {
 func textRedisplay(w *xt.Widget) {
 	d := w.Display()
 	win := w.Window()
+	clip := w.Clip()
 	gc := d.NewGC()
 	gc.Foreground = w.PixelRes("background")
-	d.FillRectangle(win, gc, 0, 0, w.Int("width"), w.Int("height"))
+	d.FillRectangle(win, gc, clip.X, clip.Y, clip.W, clip.H)
 	gc.Foreground = w.PixelRes("foreground")
 	gc.Font = w.FontRes("font")
 	y := 2 + gc.Font.Ascent
 	for _, line := range strings.Split(TextBuffer(w), "\n") {
-		d.DrawString(win, gc, 2, y, line)
+		if w.ClipIntersects(2, y-gc.Font.Ascent, gc.Font.TextWidth(line), gc.Font.Height()) {
+			d.DrawString(win, gc, 2, y, line)
+		}
 		y += gc.Font.Height()
 	}
 	// Caret as a one-pixel line at the insert position.
@@ -400,7 +403,9 @@ func textRedisplay(w *xt.Widget) {
 		row, col := textCaret(w, buf, pos)
 		cx := 2 + gc.Font.Width*col
 		cy := 2 + row*gc.Font.Height()
-		d.DrawLine(win, gc, cx, cy, cx, cy+gc.Font.Height()-1)
+		if w.ClipIntersects(cx, cy, 1, gc.Font.Height()) {
+			d.DrawLine(win, gc, cx, cy, cx, cy+gc.Font.Height()-1)
+		}
 	}
 }
 

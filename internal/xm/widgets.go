@@ -99,14 +99,19 @@ func xmLabelPreferredSize(w *xt.Widget) (int, int) {
 
 func xmLabelRedisplay(w *xt.Widget) {
 	d := w.Display()
+	clip := w.Clip()
 	gc := d.NewGC()
 	gc.Foreground = w.PixelRes("background")
-	d.FillRectangle(w.Window(), gc, 0, 0, w.Int("width"), w.Int("height"))
+	d.FillRectangle(w.Window(), gc, clip.X, clip.Y, clip.W, clip.H)
 	gc.Foreground = w.PixelRes("foreground")
 	x := w.Int("marginWidth") + w.Int("shadowThickness")
 	for _, seg := range segmentsOf(w) {
 		f := fontFor(w, seg.FontTag)
 		gc.Font = f
+		if !w.ClipIntersects(x, w.Int("marginHeight"), f.TextWidth(seg.Text), f.Height()) {
+			x += f.TextWidth(seg.Text)
+			continue
+		}
 		text := seg.Text
 		if seg.Direction == "rtl" {
 			r := []rune(text)
@@ -311,11 +316,14 @@ var XmTextClass = &xt.Class{
 	},
 	Redisplay: func(w *xt.Widget) {
 		d := w.Display()
+		clip := w.Clip()
 		gc := d.NewGC()
 		gc.Foreground = w.PixelRes("background")
-		d.FillRectangle(w.Window(), gc, 0, 0, w.Int("width"), w.Int("height"))
+		d.FillRectangle(w.Window(), gc, clip.X, clip.Y, clip.W, clip.H)
 		gc.Foreground = w.PixelRes("foreground")
-		d.DrawString(w.Window(), gc, 4, gc.Font.Ascent+4, w.Str("value"))
+		if v := w.Str("value"); w.ClipIntersects(4, 4, gc.Font.TextWidth(v), gc.Font.Height()) {
+			d.DrawString(w.Window(), gc, 4, gc.Font.Ascent+4, v)
+		}
 	},
 }
 

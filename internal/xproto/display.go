@@ -50,6 +50,27 @@ type Display struct {
 	// snapshots and assertions.
 	drawLog map[WindowID][]DrawOp
 
+	// damage accumulates per-window dirty regions; FlushDamage converts
+	// each into coalesced Expose events when the event queue drains.
+	// Region values persist across cycles (Reset keeps storage) and
+	// damaged lists the windows with pending damage in arrival order,
+	// its capacity reused — the steady-state damage/flush cycle
+	// allocates nothing.
+	damage  map[WindowID]*Region
+	damaged []WindowID
+
+	// gen counts display-list and window-tree mutations; the snapshot
+	// cache keys on it.
+	gen uint64
+
+	// Snapshot scratch, reused across calls: the cell grid, the output
+	// buffer, and a single-slot result cache keyed by (window, gen).
+	snapGrid [][]rune
+	snapBuf  []byte
+	snapWin  WindowID
+	snapGen  uint64
+	snapStr  string
+
 	// obs, when non-nil, counts protocol requests per operation and
 	// queued events. Nil (the default) keeps request paths at a single
 	// pointer comparison.
@@ -124,6 +145,7 @@ func newDisplay(name string) *Display {
 		keymap:     DefaultKeymap(),
 		selections: make(map[string]*selection),
 		drawLog:    make(map[WindowID][]DrawOp),
+		damage:     make(map[WindowID]*Region),
 	}
 	d.gcProto = GC{
 		Foreground: d.BlackPixel(),
@@ -172,13 +194,19 @@ func (d *Display) Pending() int { return len(d.queue) - d.qhead }
 
 // NextEvent dequeues the oldest event. ok is false when the queue is
 // empty (the real call would block; the Xt layer treats empty as idle).
+// Draining the queue flushes accumulated window damage first, so
+// coalesced Expose events are delivered after the mutations that
+// caused them — the X server's expose-compression discipline.
 func (d *Display) NextEvent() (Event, bool) {
 	if d.qhead >= len(d.queue) {
 		if len(d.queue) > 0 {
 			d.queue = d.queue[:0]
 			d.qhead = 0
 		}
-		return Event{}, false
+		d.FlushDamage()
+		if len(d.queue) == 0 {
+			return Event{}, false
+		}
 	}
 	ev := d.queue[d.qhead]
 	d.qhead++
@@ -450,13 +478,98 @@ func (d *Display) TypeString(s string) error {
 	return nil
 }
 
-// InjectExpose queues an Expose event for the window.
+// InjectExpose queues a full-window Expose for the window. Mask misses
+// are counted (xproto.exposes_dropped) instead of silently vanishing.
 func (d *Display) InjectExpose(id WindowID) {
-	w, ok := d.windows[id]
-	if !ok || w.EventMask&ExposureMask == 0 {
+	d.InjectExposeRect(id, 0, 0, 0, 0)
+}
+
+// InjectExposeRect damages a rectangle of the window; a zero-sized rect
+// means the whole window. The damage flows through the per-window
+// region, so repeated injections coalesce into the minimal Expose set
+// when the event queue drains. Requests for unknown windows or windows
+// not selecting ExposureMask are dropped and counted.
+func (d *Display) InjectExposeRect(id WindowID, x, y, w, h int) {
+	win, ok := d.windows[id]
+	if !ok || win.EventMask&ExposureMask == 0 {
+		if m := d.obs; m != nil {
+			m.ExposesDropped.Inc()
+		}
 		return
 	}
-	d.enqueue(Event{Type: Expose, Window: id, Width: w.Width, Height: w.Height})
+	r := Rect{X: x, Y: y, W: w, H: h}
+	if r.Empty() {
+		r = Rect{W: win.Width, H: win.Height}
+	}
+	d.addDamage(win, r)
+}
+
+// DamageRect accumulates damage on the window, clipped to its bounds.
+// The accumulated region is flushed into coalesced Expose events when
+// the event queue drains (or explicitly via FlushDamage). Mask misses
+// are dropped and counted, like InjectExposeRect.
+func (d *Display) DamageRect(id WindowID, x, y, w, h int) {
+	win, ok := d.windows[id]
+	if !ok || win.EventMask&ExposureMask == 0 {
+		if m := d.obs; m != nil {
+			m.ExposesDropped.Inc()
+		}
+		return
+	}
+	d.addDamage(win, Rect{X: x, Y: y, W: w, H: h})
+}
+
+// addDamage is the internal accumulation point: clip to the window,
+// count, and enter the rect into the window's region. Callers have
+// already checked the event mask.
+func (d *Display) addDamage(win *Window, r Rect) {
+	if !win.Viewable() {
+		return
+	}
+	r = r.Intersect(Rect{W: win.Width, H: win.Height})
+	if r.Empty() {
+		return
+	}
+	if m := d.obs; m != nil {
+		m.DamageRects.Inc()
+	}
+	reg := d.damage[win.ID]
+	if reg == nil {
+		reg = &Region{}
+		d.damage[win.ID] = reg
+	}
+	if reg.Len() == 0 {
+		d.damaged = append(d.damaged, win.ID)
+	}
+	reg.Add(r)
+}
+
+// FlushDamage converts every pending damage region into Expose events,
+// one per coalesced rect, in damage-arrival order. Windows that became
+// unviewable (or deselected exposure) since the damage accrued are
+// skipped, as a real server would. The number of mutations saved by
+// coalescing is counted (xproto.exposes_coalesced).
+func (d *Display) FlushDamage() {
+	if len(d.damaged) == 0 {
+		return
+	}
+	for i := 0; i < len(d.damaged); i++ {
+		id := d.damaged[i]
+		reg := d.damage[id]
+		if reg == nil || reg.Len() == 0 {
+			continue
+		}
+		if win, ok := d.windows[id]; ok && win.EventMask&ExposureMask != 0 && win.Viewable() {
+			for _, r := range reg.Rects() {
+				d.enqueue(Event{Type: Expose, Window: id, X: r.X, Y: r.Y, Width: r.W, Height: r.H})
+			}
+			if m := d.obs; m != nil && reg.Added() > reg.Len() {
+				m.ExposesCoalesced.Add(int64(reg.Added() - reg.Len()))
+			}
+		}
+		reg.Reset()
+	}
+	d.damaged = d.damaged[:0]
 }
 
 // InjectClientMessage queues a ClientMessage carrying an opaque string

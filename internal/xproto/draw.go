@@ -6,6 +6,7 @@ import (
 	"image/color"
 	"sort"
 	"strings"
+	"unicode/utf8"
 )
 
 // GC is a graphics context: the drawing parameters shared by render
@@ -82,6 +83,7 @@ func (d *Display) record(win WindowID, op DrawOp) {
 	if t := d.trace; t != nil {
 		t.Instant("xproto", op.Kind.String())
 	}
+	d.gen++
 	d.drawLog[win] = append(d.drawLog[win], op)
 }
 
@@ -94,6 +96,65 @@ func (d *Display) ClearWindow(win WindowID) {
 	}
 	d.drawLog[win] = d.drawLog[win][:0]
 	d.record(win, DrawOp{Kind: OpClear, W: w.Width, H: w.Height, Color: w.Background})
+}
+
+// opBounds returns the damage bounding box of a recorded op, used by
+// ClearArea to decide what an erased rect invalidates.
+func opBounds(op DrawOp) Rect {
+	switch op.Kind {
+	case OpDrawLine:
+		x0, y0 := minI(op.X, op.X2), minI(op.Y, op.Y2)
+		x1, y1 := maxI(op.X, op.X2), maxI(op.Y, op.Y2)
+		return Rect{X: x0, Y: y0, W: x1 - x0 + 1, H: y1 - y0 + 1}
+	case OpDrawPoint:
+		return Rect{X: op.X, Y: op.Y, W: 1, H: 1}
+	case OpDrawString:
+		f := LoadFont(op.Font)
+		return Rect{X: op.X, Y: op.Y - f.Ascent, W: f.TextWidth(op.Text), H: f.Height()}
+	case OpDrawRect:
+		// The outline includes the (x+w, y+h) edge.
+		return Rect{X: op.X, Y: op.Y, W: op.W + 1, H: op.H + 1}
+	}
+	return Rect{X: op.X, Y: op.Y, W: op.W, H: op.H}
+}
+
+// ClearArea erases a rectangle of the window to its background — the
+// partial-clear counterpart of ClearWindow that clipped redraws use. A
+// rect covering the whole window degenerates to ClearWindow (display
+// list reset). Otherwise the display list is scrubbed in place: ops
+// fully inside the rect are dropped, strings merely intersecting it
+// are dropped too (the clipped Redisplay that follows repaints every
+// string touching the clip, and the ASCII snapshot paints strings
+// whole), and a partial OpClear records the background fill for
+// rasterized output.
+func (d *Display) ClearArea(id WindowID, x, y, w, h int) {
+	win, ok := d.windows[id]
+	if !ok {
+		return
+	}
+	bounds := Rect{W: win.Width, H: win.Height}
+	r := Rect{X: x, Y: y, W: w, H: h}.Intersect(bounds)
+	if r.Empty() {
+		return
+	}
+	if r.Contains(bounds) {
+		d.ClearWindow(id)
+		return
+	}
+	log := d.drawLog[id]
+	out := log[:0]
+	for _, op := range log {
+		b := opBounds(op)
+		keep := !r.Contains(b)
+		if keep && op.Kind == OpDrawString && r.Intersects(b) {
+			keep = false
+		}
+		if keep {
+			out = append(out, op)
+		}
+	}
+	d.drawLog[id] = out
+	d.record(id, DrawOp{Kind: OpClear, X: r.X, Y: r.Y, W: r.W, H: r.H, Color: win.Background})
 }
 
 // FillRectangle fills a rectangle in window coordinates.
@@ -168,10 +229,18 @@ const (
 // frames as box-drawing characters and strings at their pixel-derived
 // cell positions. It is deliberately lossy — its purpose is human-
 // inspectable examples and golden tests, not pixel fidelity.
+//
+// The cell grid and output buffer are per-display scratch reused
+// across calls, and the result is memoized against the display
+// generation counter (bumped by every draw and window-tree mutation):
+// repeated snapshots of an unchanged screen return the cached string.
 func (d *Display) Snapshot(rootOf WindowID) string {
 	w, ok := d.windows[rootOf]
 	if !ok {
 		return ""
+	}
+	if d.snapWin == rootOf && d.snapGen == d.gen && d.snapStr != "" {
+		return d.snapStr
 	}
 	cols := (w.Width + cellW - 1) / cellW
 	rows := (w.Height + cellH - 1) / cellH
@@ -181,21 +250,37 @@ func (d *Display) Snapshot(rootOf WindowID) string {
 	if rows < 1 {
 		rows = 1
 	}
-	grid := make([][]rune, rows)
+	for len(d.snapGrid) < rows {
+		d.snapGrid = append(d.snapGrid, nil)
+	}
+	grid := d.snapGrid[:rows]
 	for i := range grid {
-		grid[i] = make([]rune, cols)
+		if cap(grid[i]) < cols {
+			grid[i] = make([]rune, cols)
+		}
+		grid[i] = grid[i][:cols]
 		for j := range grid[i] {
 			grid[i][j] = ' '
 		}
 	}
 	ox, oy := w.RootCoords(0, 0)
 	d.paintInto(grid, w, -ox, -oy)
-	var b strings.Builder
+	buf := d.snapBuf[:0]
 	for _, row := range grid {
-		b.WriteString(strings.TrimRight(string(row), " "))
-		b.WriteByte('\n')
+		end := len(row)
+		for end > 0 && row[end-1] == ' ' {
+			end--
+		}
+		for _, r := range row[:end] {
+			buf = utf8.AppendRune(buf, r)
+		}
+		buf = append(buf, '\n')
 	}
-	return b.String()
+	d.snapBuf = buf
+	d.snapWin = rootOf
+	d.snapGen = d.gen
+	d.snapStr = string(buf)
+	return d.snapStr
 }
 
 func (d *Display) paintInto(grid [][]rune, w *Window, dx, dy int) {
@@ -287,7 +372,13 @@ func (d *Display) renderInto(img *image.RGBA, w *Window, dx, dy int) {
 	ax, ay := w.RootCoords(0, 0)
 	ax += dx
 	ay += dy
+	// As in X, output is clipped to the window: an op whose geometry
+	// overhangs the window edge (a scrollbar thumb with shown near 1,
+	// a long string) must not paint outside it.
 	set := func(x, y int, p Pixel) {
+		if x < ax || y < ay || x >= ax+w.Width || y >= ay+w.Height {
+			return
+		}
 		img.Set(x, y, color.RGBA{p.R, p.G, p.B, 255})
 	}
 	for _, op := range d.drawLog[w.ID] {

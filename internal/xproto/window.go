@@ -80,6 +80,7 @@ func (d *Display) CreateWindow(parent WindowID, x, y, width, height, borderWidth
 	if t := d.trace; t != nil {
 		t.Instant("xproto", "CreateWindow")
 	}
+	d.gen++
 	id := d.nextID
 	d.nextID++
 	w := &Window{
@@ -111,6 +112,7 @@ func (d *Display) DestroyWindow(id WindowID) {
 	if t := d.trace; t != nil {
 		t.Instant("xproto", "DestroyWindow")
 	}
+	d.gen++
 	for _, c := range append([]WindowID(nil), w.Children...) {
 		d.DestroyWindow(c)
 	}
@@ -158,6 +160,7 @@ func (d *Display) MapWindow(id WindowID) {
 		t.Instant("xproto", "MapWindow")
 	}
 	w.Mapped = true
+	d.gen++
 	if w.EventMask&StructureNotifyMask != 0 {
 		d.enqueue(Event{Type: MapNotify, Window: id})
 	}
@@ -169,7 +172,7 @@ func (d *Display) MapWindow(id WindowID) {
 
 func (d *Display) exposeTree(w *Window) {
 	if w.EventMask&ExposureMask != 0 {
-		d.enqueue(Event{Type: Expose, Window: w.ID, Width: w.Width, Height: w.Height})
+		d.addDamage(w, Rect{W: w.Width, H: w.Height})
 	}
 	for _, c := range w.Children {
 		cw := d.windows[c]
@@ -192,6 +195,7 @@ func (d *Display) UnmapWindow(id WindowID) {
 		t.Instant("xproto", "UnmapWindow")
 	}
 	w.Mapped = false
+	d.gen++
 	if w.EventMask&StructureNotifyMask != 0 {
 		d.enqueue(Event{Type: UnmapNotify, Window: id})
 	}
@@ -213,11 +217,12 @@ func (d *Display) ConfigureWindow(id WindowID, x, y, width, height int) {
 	if height > 0 {
 		w.Height = height
 	}
+	d.gen++
 	if w.EventMask&StructureNotifyMask != 0 {
 		d.enqueue(Event{Type: ConfigureNotify, Window: id, X: x, Y: y, Width: w.Width, Height: w.Height})
 	}
-	if grew && w.Viewable() && w.EventMask&ExposureMask != 0 {
-		d.enqueue(Event{Type: Expose, Window: id, Width: w.Width, Height: w.Height})
+	if grew && w.EventMask&ExposureMask != 0 {
+		d.addDamage(w, Rect{W: w.Width, H: w.Height})
 	}
 	d.recomputePointerWindow()
 }
@@ -233,6 +238,7 @@ func (d *Display) SelectInput(id WindowID, mask EventMask) {
 func (d *Display) SetWindowBackground(id WindowID, p Pixel) {
 	if w, ok := d.windows[id]; ok {
 		w.Background = p
+		d.gen++
 	}
 }
 

@@ -61,6 +61,12 @@ type App struct {
 	quit     bool
 	quitCode int
 
+	// fullRepaint forces the legacy render path: every damage rect
+	// widens to the whole window and every expose clears and repaints
+	// unconditionally. Kept as the differential oracle the clipped
+	// pipeline is compared against.
+	fullRepaint bool
+
 	// dispatchedCall points at the translation binding currently being
 	// dispatched, so action procedures can reach their per-binding
 	// Compiled cache slot. Nil outside DispatchEvent.
@@ -303,7 +309,7 @@ func (app *App) dispatchEvent(d *xproto.Display, ev xproto.Event) {
 	}
 	switch ev.Type {
 	case xproto.Expose:
-		w.Redraw()
+		w.redrawExpose(&ev)
 		return
 	case xproto.MapNotify, xproto.UnmapNotify, xproto.ConfigureNotify, xproto.DestroyNotify:
 		return
@@ -341,6 +347,14 @@ func (app *App) dispatchEvent(d *xproto.Display, ev xproto.Event) {
 // currently executing, or nil. Action procedures use it to cache a
 // parsed form of their params on the binding (ActionCall.Compiled).
 func (app *App) DispatchedCall() *ActionCall { return app.dispatchedCall }
+
+// SetFullRepaint switches between the damage-clipped render pipeline
+// (default) and the legacy full-repaint path. The render oracle tests
+// run both and require identical snapshots.
+func (app *App) SetFullRepaint(on bool) { app.fullRepaint = on }
+
+// FullRepaint reports whether the legacy full-repaint path is active.
+func (app *App) FullRepaint() bool { return app.fullRepaint }
 
 // Pump dispatches all pending events on all displays until the queues
 // are empty. Tests and the Wafe command layer call it after injecting

@@ -45,6 +45,12 @@ type Widget struct {
 	poppedUp bool
 	grabKind GrabKind
 
+	// clip, while hasClip, is the damage rect the current partial
+	// redraw is limited to; Redisplay procs consult it through
+	// Clip/ClipIntersects to skip draws outside the damaged area.
+	clip    xproto.Rect
+	hasClip bool
+
 	// Private per-class state (widget implementations stash scroll
 	// offsets, edit buffers etc. here).
 	Private any
@@ -724,18 +730,99 @@ func (w *Widget) updateInputMask() {
 	w.display.SelectInput(w.window, mask)
 }
 
-// Redraw clears and re-exposes the widget via its class Redisplay.
+// Redraw clears and repaints the whole widget via its class Redisplay.
 func (w *Widget) Redraw() {
 	if !w.realized {
 		return
 	}
+	if m := w.app.obs.Load(); m != nil {
+		m.RedrawFull.Inc()
+	}
+	w.hasClip = false
 	w.display.ClearWindow(w.window)
+	w.redisplay()
+}
+
+// redisplay runs the first Redisplay proc on the class chain.
+func (w *Widget) redisplay() {
 	for k := w.Class; k != nil; k = k.Super {
 		if k.Redisplay != nil {
 			k.Redisplay(w)
 			return
 		}
 	}
+}
+
+// Clip returns the rectangle the current redraw is limited to: the
+// damage rect during a clipped partial redraw, the full window rect
+// otherwise. Redisplay procs bound their background fill by it and
+// skip primitives entirely outside it.
+func (w *Widget) Clip() xproto.Rect {
+	if w.hasClip {
+		return w.clip
+	}
+	return xproto.Rect{W: w.Int("width"), H: w.Int("height")}
+}
+
+// ClipIntersects reports whether the rect touches the active clip
+// region (always true outside a clipped redraw).
+func (w *Widget) ClipIntersects(x, y, wd, h int) bool {
+	if !w.hasClip {
+		return true
+	}
+	return w.clip.Intersects(xproto.Rect{X: x, Y: y, W: wd, H: h})
+}
+
+// RedrawRect repaints only the given rectangle of the widget: the area
+// is cleared, the clip set, and the class Redisplay runs consulting
+// the clip. Rects covering the whole widget — and every rect while the
+// app is in full-repaint oracle mode — fall back to Redraw.
+func (w *Widget) RedrawRect(r xproto.Rect) {
+	if !w.realized {
+		return
+	}
+	full := xproto.Rect{W: w.Int("width"), H: w.Int("height")}
+	r = r.Intersect(full)
+	if r.Empty() {
+		return
+	}
+	if w.app.fullRepaint || r.Contains(full) {
+		w.Redraw()
+		return
+	}
+	if m := w.app.obs.Load(); m != nil {
+		m.RedrawClipped.Inc()
+	}
+	w.clip, w.hasClip = r, true
+	w.display.ClearArea(w.window, r.X, r.Y, r.W, r.H)
+	w.redisplay()
+	w.hasClip = false
+}
+
+// Damage marks a rectangle of the widget dirty (a zero-sized rect
+// means the whole widget): the rect enters the display's per-window
+// damage region and comes back as a coalesced Expose on the next event
+// read, which triggers the clipped redraw.
+func (w *Widget) Damage(r xproto.Rect) {
+	if !w.realized {
+		return
+	}
+	if r.Empty() || w.app.fullRepaint {
+		r = xproto.Rect{W: w.Int("width"), H: w.Int("height")}
+	}
+	w.display.DamageRect(w.window, r.X, r.Y, r.W, r.H)
+}
+
+// redrawExpose services one Expose event, using its damage rect for a
+// clipped partial redraw (full repaint when the rect is empty — an
+// event synthesized without geometry).
+func (w *Widget) redrawExpose(ev *xproto.Event) {
+	r := xproto.Rect{X: ev.X, Y: ev.Y, W: ev.Width, H: ev.Height}
+	if r.Empty() {
+		w.Redraw()
+		return
+	}
+	w.RedrawRect(r)
 }
 
 // Destroy destroys the widget subtree (XtDestroyWidget), invoking

@@ -409,6 +409,73 @@ if [ "${1:-}" = "xrm" ]; then
     exit $status
 fi
 
+# The `render` mode guards the damage-region pipeline: it runs the
+# render benchmarks plus the snapshot-scale ablation and writes
+# BENCH_render.json. Gates — the steady-state single-widget update
+# (one StripChart sample + pump) must allocate 0 B/op and finish
+# within RENDER_UPDATE_MAX_NS (default 50000 ns); snapshotting a
+# 200-widget tree must cost at most RENDER_SNAPSHOT_MAX_RATIO
+# (default 8) times the 10-widget tree per call (the memoized
+# snapshot makes repeated observation O(1) regardless of tree size).
+if [ "${1:-}" = "render" ]; then
+    count="${COUNT:-3}"
+    benchtime="${BENCHTIME:-1s}"
+    maxns="${RENDER_UPDATE_MAX_NS:-50000}"
+    maxratio="${RENDER_SNAPSHOT_MAX_RATIO:-8}"
+    status=0
+    out=$(go test -bench 'BenchmarkRender_|BenchmarkAblation_SnapshotScale' \
+        -benchmem -benchtime "$benchtime" -count "$count" -run '^$' .)
+    printf '%s\n' "$out"
+    printf '%s\n' "$out" | awk -v maxns="$maxns" -v maxratio="$maxratio" '
+    /^Benchmark/ {
+        nm = $1
+        sub(/-[0-9]+$/, "", nm)
+        ns[nm] += $3; n[nm]++
+        for (i = 4; i < NF; i++) {
+            if ($(i+1) == "B/op")      b[nm] += $i
+            if ($(i+1) == "allocs/op") a[nm] += $i
+        }
+        if (!(nm in order)) { order[nm] = ++cnt; names[cnt] = nm }
+    }
+    END {
+        printf "{\n"
+        for (i = 1; i <= cnt; i++) {
+            k = names[i]
+            printf "  \"%s\": {\"ns_per_op\": %.1f, \"bytes_per_op\": %.1f, \"allocs_per_op\": %.1f},\n", \
+                k, ns[k] / n[k], b[k] / n[k], a[k] / n[k]
+        }
+        fail = 0
+        u = "BenchmarkRender_SingleWidgetUpdate"
+        if (!(u in ns)) { print "render: missing " u > "/dev/stderr"; fail = 1 }
+        else {
+            if (b[u] / n[u] != 0) {
+                printf "render: FAIL %s allocates %.1f B/op in steady state (want 0)\n", u, b[u] / n[u] > "/dev/stderr"; fail = 1
+            } else
+                printf "render: steady-state single-widget update allocates 0 B/op\n" > "/dev/stderr"
+            if (ns[u] / n[u] > maxns) {
+                printf "render: FAIL %s takes %.0f ns/op (bound %d ns)\n", u, ns[u] / n[u], maxns > "/dev/stderr"; fail = 1
+            } else
+                printf "render: single-widget update %.0f ns/op (bound %d ns)\n", ns[u] / n[u], maxns > "/dev/stderr"
+        }
+        s10 = "BenchmarkAblation_SnapshotScale/widgets=10"
+        s200 = "BenchmarkAblation_SnapshotScale/widgets=200"
+        if (!(s10 in ns) || !(s200 in ns)) { print "render: missing SnapshotScale results" > "/dev/stderr"; fail = 1 }
+        else {
+            ratio = (ns[s200] / n[s200]) / (ns[s10] / n[s10])
+            if (ratio > maxratio) {
+                printf "render: FAIL widgets=200 snapshot is %.1fx widgets=10 (want <= %sx)\n", ratio, maxratio > "/dev/stderr"; fail = 1
+            } else
+                printf "render: widgets=200 snapshot runs at %.2fx of widgets=10 (bound %sx)\n", ratio, maxratio > "/dev/stderr"
+            printf "  \"_snapshot_scale_ratio\": %.2f,\n", ratio
+        }
+        printf "  \"_gate\": \"%s\"\n}\n", (fail ? "FAIL" : "OK")
+        exit fail
+    }' > BENCH_render.json || status=$?
+    cat BENCH_render.json
+    echo "wrote BENCH_render.json"
+    exit $status
+fi
+
 pattern="${1:-.}"
 count="${COUNT:-3}"
 benchtime="${BENCHTIME:-1s}"

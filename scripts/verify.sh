@@ -70,4 +70,15 @@ go test -race -count 1 -run 'TestOracle|TestDifferential|TestVarRef|TestSpeciali
 echo "== scripts/bench.sh tclvm"
 COUNT=2 BENCHTIME=0.3s scripts/bench.sh tclvm
 
+# The damage-region render gate: the differential oracle proves
+# clipped partial redraws are pixel-identical to full repaints (every
+# demo plus randomized damage sequences, under the race detector),
+# then the perf gate holds the steady-state single-widget update at
+# 0 B/op and memoized snapshots at O(1) in tree size.
+echo "== go test -race render differential oracle"
+go test -race -count 1 -run 'TestRenderOracle' .
+
+echo "== scripts/bench.sh render"
+COUNT=2 BENCHTIME=0.3s scripts/bench.sh render
+
 echo "verify: OK"
