@@ -6,6 +6,7 @@
 // Usage:
 //
 //	wafecheck [-set athena|motif|both] [path ...]
+//	wafecheck -why [path ...]
 //	some-generator | wafecheck -
 //
 // Paths may be .wafe scripts, Go files with embedded scripts, or
@@ -13,6 +14,14 @@
 // stdin, so application programs can pre-validate generated scripts
 // before sending them over the pipe protocol. Exit status is 1 when
 // any diagnostic is reported, 2 on usage or I/O errors.
+//
+// With -why, instead of linting, every statically-compilable command
+// site is labeled `cmd@proc:line` with the VM's dispatch decision:
+// "specialized (op...)" when the bytecode compiler emits a fast-path
+// opcode, or "generic:" plus the rule that forces tree-walk dispatch
+// (non-literal words, non-canonical number spelling, array targets,
+// command substitution in an expression, ...). Exit status is always 0
+// unless a path fails to read: deopts are explanations, not errors.
 package main
 
 import (
@@ -29,12 +38,18 @@ import (
 
 func main() {
 	set := flag.String("set", "both", "widget set to check against: athena, motif or both")
+	why := flag.Bool("why", false, "explain per command site whether the VM specializes it or what forces generic dispatch")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: wafecheck [-set athena|motif|both] [path ...]\n")
+		fmt.Fprintf(os.Stderr, "       wafecheck -why [path ...]\n")
 		fmt.Fprintf(os.Stderr, "       wafecheck -   (read script from stdin)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *why {
+		os.Exit(runWhy(flag.Args()))
+	}
 
 	table, err := analysis.NewTable(*set)
 	if err != nil {
@@ -112,6 +127,73 @@ func main() {
 	if found {
 		os.Exit(1)
 	}
+}
+
+// runWhy labels every command site of the given .wafe paths (or
+// stdin) with the VM's dispatch decision.
+func runWhy(args []string) int {
+	if len(args) == 0 {
+		flag.Usage()
+		return 2
+	}
+	status := 0
+	explain := func(file, src string) {
+		for _, r := range analysis.ExplainFile(file, src) {
+			fmt.Println(r.String())
+		}
+	}
+	for _, arg := range args {
+		if arg == "-" {
+			src, err := io.ReadAll(os.Stdin)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wafecheck: stdin:", err)
+				status = 2
+				continue
+			}
+			explain("<stdin>", string(src))
+			continue
+		}
+		info, err := os.Stat(arg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wafecheck:", err)
+			status = 2
+			continue
+		}
+		if info.IsDir() {
+			err := filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if d.IsDir() {
+					if name := d.Name(); name == "testdata" || strings.HasPrefix(name, ".") && path != arg {
+						return fs.SkipDir
+					}
+					return nil
+				}
+				if filepath.Ext(path) == ".wafe" {
+					src, err := os.ReadFile(path)
+					if err != nil {
+						return err
+					}
+					explain(path, string(src))
+				}
+				return nil
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wafecheck:", err)
+				status = 2
+			}
+			continue
+		}
+		src, err := os.ReadFile(arg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wafecheck:", err)
+			status = 2
+			continue
+		}
+		explain(arg, string(src))
+	}
+	return status
 }
 
 func checkFile(c *analysis.Checker, path string, emit func([]analysis.Diagnostic)) error {

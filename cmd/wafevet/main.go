@@ -1,21 +1,30 @@
 // Command wafevet analyzes the repository's Go packages for runtime
 // invariants the standard vet cannot know about:
 //
-//	nilguard   — obs metric pointers must be nil-checked before use
-//	lockedeval — no mutex may be held across Interp.Eval/EvalScript
-//	checkscan  — strconv/fmt.Sscan errors must not be discarded
-//	atomics    — atomically-accessed fields must never be read plainly
+//	nilguard      — obs metric pointers must be nil-checked before use
+//	lockedeval    — no mutex may be held across Interp.Eval/EvalScript
+//	checkscan     — strconv/fmt.Sscan errors must not be discarded
+//	atomics       — atomically-accessed fields must never be read plainly
+//	redisplayclip — Redisplay procs must consult the damage clip
+//	sessionowner  — session-owned state (Interp, App, Widget, Display,
+//	                Frontend) must only be touched from the owning event
+//	                loop; other goroutines route through App.Post
+//	lockorder     — the package's mutex acquisition graph must be
+//	                acyclic, and no lock may be held into code that
+//	                reaches Interp.Eval*/App.Post
 //
 // It is built on go/parser + go/types + the stdlib source importer
 // only: no network, no GOPATH, no external analysis framework.
 //
 // Usage:
 //
-//	wafevet [-root dir] ./internal/... [dir ...]
+//	wafevet [-root dir] [-timing] ./internal/... [dir ...]
 //
 // A trailing "/..." walks the tree for Go packages. Findings print as
 // "file:line:col: [rule] message"; exit status is 1 when any are
-// found, 2 on load errors.
+// found, 2 on load errors. With -timing, cumulative per-rule wall
+// time prints after the findings as "vet-timing <rule> <ms>" lines
+// (the bench harness records them into BENCH_check.json).
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"wafe/internal/analysis"
@@ -31,8 +41,9 @@ import (
 
 func main() {
 	root := flag.String("root", ".", "module root (directory containing go.mod)")
+	timing := flag.Bool("timing", false, "print cumulative per-rule wall time after the findings")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wafevet [-root dir] ./internal/... [dir ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: wafevet [-root dir] [-timing] ./internal/... [dir ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -86,6 +97,17 @@ func main() {
 		for _, d := range ds {
 			fmt.Println(d.String())
 			found = true
+		}
+	}
+	if *timing {
+		t := v.Timings()
+		rules := make([]string, 0, len(t))
+		for rule := range t {
+			rules = append(rules, rule)
+		}
+		sort.Strings(rules)
+		for _, rule := range rules {
+			fmt.Printf("vet-timing %s %.1f\n", rule, float64(t[rule].Microseconds())/1000)
 		}
 	}
 	if fail {

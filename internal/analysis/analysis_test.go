@@ -173,15 +173,22 @@ func f(in I) {
 // TestVetFixture runs the wafevet engine over the fixture package and
 // compares against its "// want rule" markers exactly.
 func TestVetFixture(t *testing.T) {
-	want := make(map[string]bool) // "line:rule"
-	src, err := os.ReadFile("testdata/vetfixture/fixture.go")
-	if err != nil {
-		t.Fatal(err)
+	want := make(map[string]bool) // "file:line:rule"
+	files, err := filepath.Glob("testdata/vetfixture/*.go")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fixture files: %v", err)
 	}
 	wantRe := regexp.MustCompile(`// want (\S+)`)
-	for i, line := range strings.Split(string(src), "\n") {
-		if m := wantRe.FindStringSubmatch(line); m != nil {
-			want[strconv.Itoa(i+1)+":"+m[1]] = true
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := filepath.Base(path)
+		for i, line := range strings.Split(string(src), "\n") {
+			if m := wantRe.FindStringSubmatch(line); m != nil {
+				want[base+":"+strconv.Itoa(i+1)+":"+m[1]] = true
+			}
 		}
 	}
 	if len(want) == 0 {
@@ -192,9 +199,12 @@ func TestVetFixture(t *testing.T) {
 	if err != nil {
 		t.Fatalf("CheckDir: %v", err)
 	}
+	key := func(d Diagnostic) string {
+		return filepath.Base(d.File) + ":" + strconv.Itoa(d.Line) + ":" + d.Rule
+	}
 	got := make(map[string]bool)
 	for _, d := range ds {
-		got[strconv.Itoa(d.Line)+":"+d.Rule] = true
+		got[key(d)] = true
 	}
 	for k := range want {
 		if !got[k] {
@@ -202,7 +212,7 @@ func TestVetFixture(t *testing.T) {
 		}
 	}
 	for _, d := range ds {
-		if !want[strconv.Itoa(d.Line)+":"+d.Rule] {
+		if !want[key(d)] {
 			t.Errorf("unexpected finding: %s", d)
 		}
 	}

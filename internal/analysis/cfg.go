@@ -1,0 +1,204 @@
+package analysis
+
+// cfg.go is the shared flow-analysis core of the v2 analyzers. For Go
+// packages it builds the per-package call graph and the goroutine
+// spawn graph that sessionowner (ownership.go) and lockorder
+// (lockorder.go) both traverse; for Tcl scripts the structured block
+// walk lives in dataflow.go. The central modeling decision is the
+// funcUnit: a closure handed to App.Post runs on the owning event
+// loop, and a `go` statement body runs on a brand-new goroutine, so
+// neither belongs to the code of the function that lexically contains
+// it. The graph carves both out of their enclosing declaration and
+// tracks them as units of their own.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// goUnit is one goroutine root: the body of `go func(){...}` or the
+// named same-package function of `go name(...)`.
+type goUnit struct {
+	pos  token.Pos      // position of the go statement
+	body *ast.BlockStmt // nil when obj names the spawned function
+	obj  types.Object   // nil when body is inline
+	encl string         // enclosing declared function, for messages
+}
+
+// pkgGraph is the per-package call/spawn graph.
+type pkgGraph struct {
+	decls map[types.Object]*ast.FuncDecl
+	// calls maps a declared function to the same-package functions it
+	// calls on its own goroutine (go-spawned callees and calls made
+	// inside Post closures are excluded; those run elsewhere).
+	calls map[types.Object][]types.Object
+	// goUnits are every goroutine root of the package, however deeply
+	// nested.
+	goUnits []goUnit
+	// postBodies are closures handed to App.Post: they run on the
+	// owning event loop, no matter which goroutine enqueued them.
+	postBodies map[*ast.FuncLit]bool
+	// goBodies are inline `go func(){...}` bodies; goCalls the call
+	// expressions of go statements (their callee is spawned, not
+	// called).
+	goBodies map[*ast.FuncLit]bool
+	goCalls  map[*ast.CallExpr]bool
+}
+
+// buildPkgGraph scans every file of the package once.
+func (fc *vetCheck) buildPkgGraph(files []*ast.File) *pkgGraph {
+	g := &pkgGraph{
+		decls:      make(map[types.Object]*ast.FuncDecl),
+		calls:      make(map[types.Object][]types.Object),
+		postBodies: make(map[*ast.FuncLit]bool),
+		goBodies:   make(map[*ast.FuncLit]bool),
+		goCalls:    make(map[*ast.CallExpr]bool),
+	}
+	// Pass 1: declarations, goroutine roots, Post closures.
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj := fc.info.Defs[fn.Name]
+			if obj != nil {
+				g.decls[obj] = fn
+			}
+			encl := fn.Name.Name
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.GoStmt:
+					g.goCalls[node.Call] = true
+					if lit, ok := node.Call.Fun.(*ast.FuncLit); ok {
+						g.goBodies[lit] = true
+						g.goUnits = append(g.goUnits, goUnit{pos: node.Pos(), body: lit.Body, encl: encl})
+					} else if callee := fc.samePkgCallee(node.Call); callee != nil {
+						g.goUnits = append(g.goUnits, goUnit{pos: node.Pos(), obj: callee, encl: encl})
+					}
+				case *ast.CallExpr:
+					if fc.appPost(node) {
+						for _, a := range node.Args {
+							if lit, ok := a.(*ast.FuncLit); ok {
+								g.postBodies[lit] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	// Pass 2: call edges, skipping code that runs on another goroutine
+	// (go bodies) or on the loop (Post closures).
+	for obj, fn := range g.decls {
+		g.unitWalk(fn.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && !g.goCalls[call] {
+				if callee := fc.samePkgCallee(call); callee != nil {
+					g.calls[obj] = append(g.calls[obj], callee)
+				}
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// unitWalk visits the nodes of one unit's body, not descending into
+// nested units (go bodies, Post closures) or into the callee of a go
+// statement. Plain closures (deferred, stored, passed to other calls)
+// stay part of the unit: wherever they eventually run, the unit's
+// goroutine created them and usually invokes them.
+func (g *pkgGraph) unitWalk(body ast.Node, visit func(ast.Node) bool) {
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			if g.goBodies[lit] || g.postBodies[lit] {
+				return false
+			}
+		}
+		return visit(n)
+	})
+}
+
+// reachable returns the same-goroutine call closure of the roots
+// (inclusive).
+func (g *pkgGraph) reachable(roots ...types.Object) map[types.Object]bool {
+	seen := make(map[types.Object]bool)
+	var visit func(o types.Object)
+	visit = func(o types.Object) {
+		if o == nil || seen[o] {
+			return
+		}
+		seen[o] = true
+		for _, c := range g.calls[o] {
+			visit(c)
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return seen
+}
+
+// samePkgCallee resolves a call to the *types.Func it invokes when
+// that function or method is declared in the package under analysis.
+func (fc *vetCheck) samePkgCallee(call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj, ok := fc.info.Uses[fun].(*types.Func); ok && obj.Pkg() == fc.pkg {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := fc.info.Uses[fun.Sel].(*types.Func); ok && obj.Pkg() == fc.pkg {
+			return obj
+		}
+	}
+	return nil
+}
+
+// appPost reports whether call is App.Post(...) on *xt.App — the one
+// sanctioned way to hand work to a session's event loop. Inside the
+// xt package itself the method is matched the same way.
+func (fc *vetCheck) appPost(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Post" {
+		return false
+	}
+	t, ok := fc.info.Types[sel.X]
+	return ok && t.Type.String() == "*"+xtPkgPath+".App"
+}
+
+// namedTypePath returns "pkgpath.Name" for a (possibly pointered)
+// named type, "" otherwise.
+func namedTypePath(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// selFieldKey renders a field selection as "pkgpath.Struct.field",
+// the identity the atomics and lockorder rules share.
+func (fc *vetCheck) selFieldKey(sel *ast.SelectorExpr) string {
+	s, ok := fc.info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	base := namedTypePath(s.Recv())
+	if base == "" {
+		return ""
+	}
+	return base + "." + sel.Sel.Name
+}

@@ -44,6 +44,10 @@ type fileCheck struct {
 	procs   map[string]procInfo
 	extra   map[string]bool // commands introduced by rename / RegisterCommand
 	widgets map[string]widgetInfo
+	// wholeFile is true when src is the complete checked file (not a
+	// script embedded in a host program); whole-file-only rules like
+	// unusedproc key off it.
+	wholeFile bool
 }
 
 // posFn maps a byte offset in some script source to an absolute
@@ -98,10 +102,12 @@ func (c *Checker) CheckScript(file, src string) []Diagnostic {
 // in file (nil means src IS the file); extra names additional
 // commands the embedding program registers.
 func (c *Checker) CheckEmbedded(file, src string, at func(off int) (line, col int), extra []string) []Diagnostic {
+	wholeFile := at == nil
 	if at == nil {
 		at = func(off int) (int, int) { return tcl.LineCol(src, off) }
 	}
 	f := &fileCheck{
+		wholeFile: wholeFile,
 		c:       c,
 		file:    file,
 		src:     src,
@@ -132,6 +138,7 @@ func (f *fileCheck) run(src string) []Diagnostic {
 	}
 	track := &varTracker{defined: predefinedVars(), checkReads: true}
 	f.walk(script, exact(0), exact, track)
+	f.dataflow(script)
 	f.diags = filterIgnored(f.diags, f.ignores)
 	SortDiagnostics(f.diags)
 	return f.diags

@@ -1,0 +1,743 @@
+package analysis
+
+// dataflow.go is wafecheck v2's interprocedural dataflow pass over
+// compiled tcl.Script values. It adds three rules on top of the
+// per-command checks in check.go:
+//
+//   deadstore — a variable is assigned and then reassigned on the same
+//     straight line with no possible read in between: the first value
+//     never mattered. The scan is linear per scope; any mention of the
+//     variable inside a nested body ([...] substitution, a loop or if
+//     body, a proc definition) counts as a read, and eval/uplevel/
+//     subst/source clear all pending stores, so only provably-dead
+//     stores are reported.
+//
+//   unusedproc — a proc defined in a whole .wafe file whose name never
+//     appears anywhere else in the file, not even inside a string or a
+//     callback body. The check is a raw delimited-token count over the
+//     file source, so dynamically-built callbacks that splice the name
+//     in keep the proc alive. Embedded scripts (Go string literals)
+//     skip the rule: their procs are routinely called by sibling
+//     scripts the checker cannot see.
+//
+//   coercion — constant propagation with the VM's canonical-spelling
+//     rules. internValue gives a value int semantics only when it is
+//     spelled canonically ("7", "-12", "0"); "09", " 7" and 0x10 stay
+//     strings, which skips the int fast path, changes comparison
+//     semantics, and (for incr amounts) forces the generic dispatch
+//     path. The rule tracks literal `set`s per scope, propagates
+//     literal arguments into proc parameters, and reports numeric
+//     values spelled non-canonically exactly where they reach a
+//     numeric context: an incr amount or target, an expr/condition
+//     read, or a proc parameter the body uses arithmetically.
+//
+// All three respect `# wafecheck:ignore <rule>` like every other rule
+// (filtering happens in run()).
+
+import (
+	"strconv"
+	"strings"
+
+	"wafe/internal/tcl"
+)
+
+// nonCanonicalNumeric extends tcl.NonCanonicalNumber with spellings
+// the VM's base-0 literal parse rejects outright but that still read
+// as numbers to a human: "09" is invalid octal to ParseInt(s, 0, ...),
+// yet anyone writing it means 9 and gets string semantics instead.
+func nonCanonicalNumeric(s string) (canonical string, ok bool) {
+	if canon, nc := tcl.NonCanonicalNumber(s); nc {
+		return canon, true
+	}
+	t := strings.TrimSpace(s)
+	if t == "" || t == s && !strings.HasPrefix(s, "0") && !strings.HasPrefix(s, "-0") && !strings.HasPrefix(s, "+") {
+		return "", false
+	}
+	if v, err := strconv.ParseInt(t, 10, 64); err == nil {
+		if c := strconv.FormatInt(v, 10); c != s {
+			return c, true
+		}
+	}
+	return "", false
+}
+
+const dfMaxDepth = 20
+
+// dynamicCmds can read or write any variable: they clear the whole
+// linear-scan state.
+var dynamicCmds = map[string]bool{
+	"eval": true, "uplevel": true, "subst": true, "source": true,
+}
+
+// escapeCmds alias a variable beyond the scope: stores to it are
+// never dead and its value is never constant.
+var escapeCmds = map[string]bool{
+	"global": true, "upvar": true, "variable": true,
+}
+
+// procNumeric is the interprocedural summary of one proc: its
+// positional formals and which of them the body uses arithmetically.
+type procNumeric struct {
+	formals []string
+	numeric map[string]bool
+}
+
+// procDef is one proc-definition site, kept for unusedproc.
+type procDef struct {
+	name string
+	pos  posFn
+	off  int
+}
+
+// dfPass is the state of one dataflow run over a file.
+type dfPass struct {
+	f        *fileCheck
+	numeric  map[string]*procNumeric
+	procDefs []procDef
+}
+
+// dataflow runs the pass; called from run() after the per-command
+// walk, on the same compiled script.
+func (f *fileCheck) dataflow(s *tcl.Script) {
+	d := &dfPass{f: f, numeric: make(map[string]*procNumeric)}
+	d.collectProcSummaries(s, 0)
+	exact := func(base int) posFn {
+		return func(off int) (int, int) { return f.at(base + off) }
+	}
+	d.scope(s, exact(0), exact, make(map[string]string), 0)
+	if f.wholeFile {
+		d.reportUnusedProcs()
+	}
+}
+
+// --- proc summaries -------------------------------------------------------------
+
+// collectProcSummaries finds every literal proc definition (like
+// collectProcs, through nested braced words) and computes which
+// formals its body uses in a numeric context.
+func (d *dfPass) collectProcSummaries(s *tcl.Script, depth int) {
+	if s == nil || depth > dfMaxDepth {
+		return
+	}
+	for _, cmd := range s.Commands() {
+		if len(cmd.Words) == 0 {
+			continue
+		}
+		if name, ok := cmd.Words[0].Literal(); ok && name == "proc" && len(cmd.Words) == 4 {
+			pname, ok1 := cmd.Words[1].Literal()
+			formalsLit, ok2 := cmd.Words[2].Literal()
+			bodyLit, ok3 := cmd.Words[3].Literal()
+			if ok1 && ok2 && ok3 && cmd.Words[3].Form == '{' {
+				pn := &procNumeric{numeric: make(map[string]bool)}
+				if items, err := tcl.ParseList(formalsLit); err == nil {
+					for _, it := range items {
+						fname := it
+						if parts, perr := tcl.ParseList(it); perr == nil && len(parts) >= 1 {
+							fname = parts[0]
+						}
+						pn.formals = append(pn.formals, fname)
+					}
+				}
+				body, _ := tcl.Compile(bodyLit)
+				uses := make(map[string]bool)
+				numericVars(body, uses, 0)
+				for _, fname := range pn.formals {
+					if uses[fname] {
+						pn.numeric[fname] = true
+					}
+				}
+				d.numeric[pname] = pn
+			}
+		}
+		for _, w := range cmd.Words {
+			if w.Form != '{' {
+				continue
+			}
+			if lit, ok := w.Literal(); ok && strings.Contains(lit, "proc") {
+				sub, _ := tcl.Compile(lit)
+				d.collectProcSummaries(sub, depth+1)
+			}
+		}
+	}
+}
+
+// numericVars collects the variable names a script uses in numeric
+// contexts: incr targets and amounts, $reads inside expr operands and
+// inside braced expression arguments (expr, if/while/for conditions).
+func numericVars(s *tcl.Script, out map[string]bool, depth int) {
+	if s == nil || depth > dfMaxDepth {
+		return
+	}
+	for _, cmd := range s.Commands() {
+		if len(cmd.Words) == 0 {
+			continue
+		}
+		name, _ := cmd.Words[0].Literal()
+		switch name {
+		case "incr":
+			for i := 1; i < len(cmd.Words) && i <= 2; i++ {
+				if lit, ok := cmd.Words[i].Literal(); ok && i == 1 {
+					out[varBase(lit)] = true
+				}
+				for _, p := range cmd.Words[i].Parts {
+					if p.Kind == tcl.PartVar {
+						out[varBase(p.Text)] = true
+					}
+				}
+			}
+		case "expr":
+			for i := 1; i < len(cmd.Words); i++ {
+				exprWordVars(cmd.Words[i], out)
+			}
+		case "if", "while":
+			if len(cmd.Words) > 1 {
+				exprWordVars(cmd.Words[1], out)
+			}
+			for i := 2; i < len(cmd.Words); i++ {
+				if lit, ok := cmd.Words[i].Literal(); ok && lit == "elseif" && i+1 < len(cmd.Words) {
+					exprWordVars(cmd.Words[i+1], out)
+				}
+			}
+		case "for":
+			if len(cmd.Words) > 2 {
+				exprWordVars(cmd.Words[2], out)
+			}
+		}
+		for _, w := range cmd.Words {
+			for _, p := range w.Parts {
+				if p.Kind == tcl.PartCommand {
+					numericVars(p.Script, out, depth+1)
+				}
+			}
+			if w.Form == '{' {
+				if lit, ok := w.Literal(); ok && strings.ContainsAny(lit, "\n;[") {
+					sub, _ := tcl.Compile(lit)
+					numericVars(sub, out, depth+1)
+				}
+			}
+		}
+	}
+}
+
+// exprWordVars collects the $names of one expression operand word:
+// substitution parts for bare/quoted words, a textual scan for braced
+// literals (braces suppress parsing but not the runtime read).
+func exprWordVars(w tcl.WordView, out map[string]bool) {
+	for _, p := range w.Parts {
+		if p.Kind == tcl.PartVar {
+			out[varBase(p.Text)] = true
+		}
+	}
+	if w.Form == '{' {
+		if lit, ok := w.Literal(); ok {
+			for _, n := range dollarNames(lit) {
+				out[n] = true
+			}
+		}
+	}
+}
+
+// dollarNames extracts the variable names of $name references in a
+// literal expression text.
+func dollarNames(text string) []string {
+	var out []string
+	for i := 0; i+1 < len(text); i++ {
+		if text[i] != '$' {
+			continue
+		}
+		j := i + 1
+		for j < len(text) && isVarNameByte(text[j]) {
+			j++
+		}
+		if j > i+1 {
+			out = append(out, text[i+1:j])
+		}
+		i = j - 1
+	}
+	return out
+}
+
+func isVarNameByte(b byte) bool {
+	return b == '_' || b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9'
+}
+
+// --- linear scope scan ----------------------------------------------------------
+
+// mentionSet is the conservative effect summary of a nested script:
+// every variable it might read or write, and whether a dynamic command
+// makes it able to touch anything.
+type mentionSet struct {
+	vars    map[string]bool
+	dynamic bool
+}
+
+// scriptMentions folds a nested script into a mentionSet.
+func scriptMentions(s *tcl.Script, m *mentionSet, depth int) {
+	if s == nil || depth > dfMaxDepth {
+		return
+	}
+	for _, cmd := range s.Commands() {
+		if len(cmd.Words) == 0 {
+			continue
+		}
+		// A non-literal first word is usually an expression operand
+		// line ({$i < 10} compiled as a script), not a dynamic call:
+		// its $vars are collected below like any other word's.
+		if name, ok := cmd.Words[0].Literal(); ok {
+			if dynamicCmds[name] {
+				m.dynamic = true
+			}
+			for i := 1; i < len(cmd.Words); i++ {
+				if lit, lok := cmd.Words[i].Literal(); lok {
+					m.vars[varBase(lit)] = true
+				}
+			}
+		}
+		for _, w := range cmd.Words {
+			wordMentions(w, m, depth)
+		}
+	}
+}
+
+// wordMentions adds one word's variable references, recursing into
+// nested [command] scripts and braced script-looking literals.
+func wordMentions(w tcl.WordView, m *mentionSet, depth int) {
+	for _, p := range w.Parts {
+		switch p.Kind {
+		case tcl.PartVar:
+			m.vars[varBase(p.Text)] = true
+			if p.HasIndex {
+				for _, ip := range p.Index {
+					if ip.Kind == tcl.PartVar {
+						m.vars[varBase(ip.Text)] = true
+					}
+				}
+			}
+		case tcl.PartCommand:
+			scriptMentions(p.Script, m, depth+1)
+		}
+	}
+	if w.Form == '{' {
+		if lit, ok := w.Literal(); ok && strings.ContainsAny(lit, "$[;\n") {
+			sub, _ := tcl.Compile(lit)
+			scriptMentions(sub, m, depth+1)
+		}
+	}
+}
+
+// pendingStore is one store not yet observed to be read.
+type pendingStore struct {
+	off  int    // offset of the command in the scope source
+	verb string // "set", "incr", ... for the message
+}
+
+// scope scans one straight-line scope (the top level, or one braced
+// body). env carries literal values across `set`s for coercion checks;
+// pending tracks unread stores for deadstore. Sub-scopes report
+// independently; the parent only sees their mentions.
+func (d *dfPass) scope(s *tcl.Script, pos posFn, sub subFn, env map[string]string, depth int) {
+	if s == nil || depth > dfMaxDepth {
+		return
+	}
+	pending := make(map[string]pendingStore)
+	escaped := make(map[string]bool)
+
+	for _, cmd := range s.Commands() {
+		if len(cmd.Words) == 0 {
+			continue
+		}
+		name, nameOK := cmd.Words[0].Literal()
+		if !nameOK {
+			// Dynamic command name: anything can happen.
+			pending = make(map[string]pendingStore)
+			env = make(map[string]string)
+			continue
+		}
+		words := cmd.Words
+
+		// Coercion checks run first, against the env as it stands when
+		// this command executes.
+		d.coercionAt(name, cmd, pos, env)
+
+		// Direct reads ($var parts outside nested scripts) retire
+		// pending stores but keep constants.
+		for _, w := range words {
+			for _, p := range w.Parts {
+				if p.Kind == tcl.PartVar {
+					delete(pending, varBase(p.Text))
+				}
+			}
+		}
+		// Nested mentions (command substitutions, braced bodies) may
+		// read or write: retire pending stores and constants both.
+		nested := &mentionSet{vars: make(map[string]bool)}
+		for _, w := range words {
+			for _, p := range w.Parts {
+				if p.Kind == tcl.PartCommand {
+					scriptMentions(p.Script, nested, depth+1)
+				}
+			}
+			if w.Form == '{' {
+				wordMentions(w, nested, depth)
+			}
+		}
+		if nested.dynamic || dynamicCmds[name] {
+			pending = make(map[string]pendingStore)
+			env = make(map[string]string)
+		} else {
+			for v := range nested.vars {
+				delete(pending, v)
+				delete(env, v)
+			}
+		}
+
+		// Escapes: the variable is an alias now; never report it.
+		if escapeCmds[name] {
+			for i := 1; i < len(words); i++ {
+				if lit, ok := words[i].Literal(); ok {
+					v := varBase(lit)
+					escaped[v] = true
+					delete(pending, v)
+					delete(env, v)
+				}
+			}
+		}
+
+		// Stores.
+		d.storesAt(name, cmd, pos, env, pending, escaped)
+
+		// Sub-scope recursion for reporting inside bodies. The child
+		// env drops everything the body itself might write.
+		d.subScopes(name, cmd, pos, sub, env, depth)
+	}
+}
+
+// storesAt applies one command's variable stores to the scan state,
+// reporting a pending store it overwrites.
+func (d *dfPass) storesAt(name string, cmd tcl.CommandView, pos posFn, env map[string]string, pending map[string]pendingStore, escaped map[string]bool) {
+	f := d.f
+	words := cmd.Words
+	store := func(v string, off int, verb string, track bool) {
+		if escaped[v] {
+			return
+		}
+		if p, dead := pending[v]; dead && track {
+			line, _ := pos(cmd.Pos)
+			f.report(pos, p.off, "deadstore",
+				"dead store: the value this %s gives %q is overwritten at line %d before any read", p.verb, v, line)
+		}
+		if track {
+			pending[v] = pendingStore{off: off, verb: verb}
+		} else {
+			delete(pending, v)
+		}
+		delete(env, v)
+	}
+	switch name {
+	case "set":
+		if len(words) == 3 {
+			if lit, ok := words[1].Literal(); ok {
+				v := varBase(lit)
+				// Distinct array elements share a base but do not
+				// overwrite each other: an indexed store only retires
+				// pending state, it never starts a death watch.
+				store(v, cmd.Pos, "set", lit == v)
+				if val, vok := words[2].Literal(); vok && !escaped[v] && lit == v {
+					env[v] = val
+				}
+			}
+		}
+	case "incr":
+		if len(words) >= 2 {
+			if lit, ok := words[1].Literal(); ok {
+				// incr reads the old value, so a pending store is
+				// consumed, then the result becomes the new store.
+				v := varBase(lit)
+				delete(pending, v)
+				store(v, cmd.Pos, "incr", lit == v)
+			}
+		}
+	case "append", "lappend":
+		if len(words) >= 2 {
+			if lit, ok := words[1].Literal(); ok {
+				v := varBase(lit)
+				delete(pending, v) // reads the old value
+				store(v, cmd.Pos, name, lit == v)
+			}
+		}
+	case "unset":
+		for i := 1; i < len(words); i++ {
+			if lit, ok := words[i].Literal(); ok {
+				v := varBase(lit)
+				delete(pending, v)
+				delete(env, v)
+			}
+		}
+	case "proc":
+		if len(words) == 4 {
+			if lit, ok := words[1].Literal(); ok {
+				d.procDefs = append(d.procDefs, procDef{name: lit, pos: pos, off: cmd.Pos})
+			}
+		}
+	default:
+		if meta, ok := f.c.T.Metas[name]; ok {
+			for _, idx := range meta.VarArgs {
+				if idx < len(words) {
+					if lit, lok := words[idx].Literal(); lok {
+						// Multi-target stores (scan, regexp, foreach,
+						// catch results): clear without pending — the
+						// store is the command's side channel, rarely
+						// dead in a way worth reporting.
+						store(varBase(lit), cmd.Pos, name, false)
+					}
+				}
+			}
+		}
+	}
+}
+
+// subScopes recurses into the braced bodies a command evaluates,
+// mirroring the body positions checkCommand/checkIf/checkSwitch use.
+func (d *dfPass) subScopes(name string, cmd tcl.CommandView, pos posFn, sub subFn, env map[string]string, depth int) {
+	words := cmd.Words
+	body := func(w tcl.WordView) {
+		if w.Form != '{' {
+			return
+		}
+		lit, ok := w.Literal()
+		if !ok {
+			return
+		}
+		s, _ := tcl.Compile(lit)
+		m := &mentionSet{vars: make(map[string]bool)}
+		scriptMentions(s, m, depth+1)
+		child := make(map[string]string)
+		if !m.dynamic {
+			for k, v := range env {
+				if !m.vars[k] {
+					child[k] = v
+				}
+			}
+		}
+		nested, nestedSub := nest(pos, sub, w.Pos+1)
+		d.scope(s, nested, nestedSub, child, depth+1)
+	}
+	switch name {
+	case "if":
+		i := 2
+		for i < len(words) {
+			if lit, ok := words[i].Literal(); ok && lit == "then" {
+				i++
+				continue
+			}
+			break
+		}
+		for ; i < len(words); i++ {
+			lit, ok := words[i].Literal()
+			if ok && (lit == "elseif") {
+				i++ // skip the condition
+				continue
+			}
+			if ok && lit == "else" {
+				continue
+			}
+			body(words[i])
+		}
+	case "switch":
+		i := 1
+		for i < len(words) {
+			lit, ok := words[i].Literal()
+			if !ok || !strings.HasPrefix(lit, "-") {
+				break
+			}
+			i++
+			if lit == "--" {
+				break
+			}
+		}
+		i++ // subject
+		if len(words)-i < 2 {
+			return
+		}
+		for ; i+1 < len(words); i += 2 {
+			if lit, ok := words[i+1].Literal(); ok && lit == "-" {
+				continue
+			}
+			body(words[i+1])
+		}
+	case "proc":
+		if len(words) == 4 {
+			// A fresh scope: formals are parameters, not outer vars.
+			w := words[3]
+			if w.Form != '{' {
+				return
+			}
+			lit, ok := w.Literal()
+			if !ok {
+				return
+			}
+			s, _ := tcl.Compile(lit)
+			nested, nestedSub := nest(pos, sub, w.Pos+1)
+			d.scope(s, nested, nestedSub, make(map[string]string), depth+1)
+		}
+	default:
+		if meta, ok := d.f.c.T.Metas[name]; ok {
+			for _, idx := range meta.ScriptArgs {
+				if idx < len(words) {
+					body(words[idx])
+				}
+			}
+		}
+	}
+}
+
+// --- coercion -------------------------------------------------------------------
+
+// coercionAt reports numeric values spelled non-canonically exactly
+// where they reach a numeric context.
+func (d *dfPass) coercionAt(name string, cmd tcl.CommandView, pos posFn, env map[string]string) {
+	f := d.f
+	words := cmd.Words
+	reportVar := func(off int, v, val, canon string) {
+		f.report(pos, off, "coercion",
+			"variable %q holds %q, numeric but not canonically spelled (canonical %q): it keeps string semantics, so comparisons are textual and the VM's int fast path is skipped", v, val, canon)
+	}
+	checkRead := func(w tcl.WordView) {
+		seen := make(map[string]bool)
+		note := func(v string, off int) {
+			if seen[v] {
+				return
+			}
+			seen[v] = true
+			if val, ok := env[v]; ok {
+				if canon, nc := nonCanonicalNumeric(val); nc {
+					reportVar(off, v, val, canon)
+				}
+			}
+		}
+		for _, p := range w.Parts {
+			if p.Kind == tcl.PartVar {
+				note(varBase(p.Text), p.Pos)
+			}
+		}
+		if w.Form == '{' {
+			if lit, ok := w.Literal(); ok {
+				for _, n := range dollarNames(lit) {
+					note(n, w.Pos)
+				}
+			}
+		}
+	}
+	switch name {
+	case "incr":
+		if len(words) == 3 {
+			if amt, ok := words[2].Literal(); ok {
+				if canon, nc := nonCanonicalNumeric(amt); nc {
+					f.report(pos, words[2].Pos, "coercion",
+						"incr amount %q is not canonically spelled (canonical %q): the VM compiles this incr on the generic path", amt, canon)
+				}
+			}
+		}
+		if len(words) >= 2 {
+			if lit, ok := words[1].Literal(); ok {
+				if val, inEnv := env[varBase(lit)]; inEnv {
+					if canon, nc := nonCanonicalNumeric(val); nc {
+						reportVar(words[1].Pos, varBase(lit), val, canon)
+					}
+				}
+			}
+		}
+	case "expr":
+		for i := 1; i < len(words); i++ {
+			checkRead(words[i])
+		}
+	case "if", "while":
+		if len(words) > 1 {
+			checkRead(words[1])
+		}
+		for i := 2; i < len(words); i++ {
+			if lit, ok := words[i].Literal(); ok && lit == "elseif" && i+1 < len(words) {
+				checkRead(words[i+1])
+			}
+		}
+	case "for":
+		if len(words) > 2 {
+			checkRead(words[2])
+		}
+	default:
+		pn, ok := d.numeric[name]
+		if !ok || len(pn.numeric) == 0 {
+			return
+		}
+		for i := 1; i < len(words) && i-1 < len(pn.formals); i++ {
+			formal := pn.formals[i-1]
+			if formal == "args" {
+				break
+			}
+			if !pn.numeric[formal] {
+				continue
+			}
+			arg, lok := words[i].Literal()
+			if !lok {
+				continue
+			}
+			if canon, nc := nonCanonicalNumeric(arg); nc {
+				f.report(pos, words[i].Pos, "coercion",
+					"argument %q for parameter %q of proc %q is numeric but not canonically spelled (canonical %q): the body uses it arithmetically, where it keeps string semantics", arg, formal, name, canon)
+			}
+		}
+	}
+}
+
+// --- unusedproc -----------------------------------------------------------------
+
+// reportUnusedProcs counts delimited occurrences of each defined proc
+// name over the raw file source; a name that only occurs once (its
+// definition) is never called, not even from a string-built callback.
+func (d *dfPass) reportUnusedProcs() {
+	src := d.f.src
+	seen := make(map[string]bool)
+	for _, def := range d.procDefs {
+		if seen[def.name] || !plainName(def.name) {
+			continue
+		}
+		seen[def.name] = true
+		if tokenCount(src, def.name) <= 1 {
+			d.f.report(def.pos, def.off, "unusedproc",
+				"proc %q is defined but never used in this file", def.name)
+		}
+	}
+}
+
+// plainName reports whether a proc name consists only of word bytes,
+// so a delimited-token count is meaningful.
+func plainName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		if !isVarNameByte(name[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// tokenCount counts delimited occurrences of name in src.
+func tokenCount(src, name string) int {
+	count, off := 0, 0
+	for {
+		i := strings.Index(src[off:], name)
+		if i < 0 {
+			return count
+		}
+		i += off
+		before := i == 0 || !isVarNameByte(src[i-1])
+		afterIdx := i + len(name)
+		after := afterIdx >= len(src) || !isVarNameByte(src[afterIdx])
+		if before && after {
+			count++
+		}
+		off = i + len(name)
+	}
+}

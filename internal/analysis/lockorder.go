@@ -1,0 +1,339 @@
+package analysis
+
+// lockorder.go implements the lockorder rule: it builds the package's
+// lock-order graph over its known mutexes (struct fields like the
+// frontend registry's Server.mu, the xproto display registry, the obs
+// rings' mutexes, the xt intern tables; plus package-level mutex vars)
+// and reports
+//
+//  1. cycles — mutex B acquired while A is held on one path and A
+//     while B is held on another: two goroutines interleaving those
+//     paths deadlock;
+//  2. blocking calls under a lock — App.Post called, or a same-package
+//     callee that transitively reaches Interp.Eval*/App.Post invoked,
+//     while a known mutex is held: the loop (or the evaluated script)
+//     may need that same mutex, and Post can block on a full queue.
+//
+// Direct lexical Eval-under-lock stays the lockedeval rule's report;
+// lockorder adds the transitive reach that a lexical scan cannot see.
+// Held-set tracking is lexical in source order (the same approximation
+// checkLockedEval uses) and is computed per funcUnit: goroutine bodies
+// and Post closures start with an empty held set of their own.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockEdge is one "to acquired while from held" observation.
+type lockEdge struct {
+	pos  token.Pos
+	note string // "" for a direct acquire, else the call it went through
+}
+
+// lockFacts summarize one unit for the rule.
+type lockFacts struct {
+	acquires map[string]bool // mutex keys locked anywhere in the unit
+	// heldCalls are same-package calls made while at least one known
+	// mutex is held.
+	heldCalls []heldCall
+	// evalPost is non-"" when the unit itself calls Interp.Eval* or
+	// App.Post anywhere (held or not): callers holding a lock must not
+	// reach it.
+	evalPost string
+	// directEdges are the lexical acquire-while-held observations.
+	directEdges []directEdge
+}
+
+type heldCall struct {
+	callee types.Object
+	held   []string
+	pos    token.Pos
+}
+
+// checkLockOrder runs the rule over the package.
+func (fc *vetCheck) checkLockOrder(files []*ast.File, g *pkgGraph) {
+	declFacts := make(map[types.Object]*lockFacts)
+	var anonFacts []*lockFacts
+	var findings []Diagnostic
+	add := func(pos token.Pos, format string, args ...any) {
+		p := fc.v.fset.Position(pos)
+		findings = append(findings, Diagnostic{
+			File: p.Filename, Line: p.Line, Col: p.Column, Rule: "lockorder",
+			Msg: fmt.Sprintf(format, args...),
+		})
+	}
+
+	for obj, fn := range g.decls {
+		declFacts[obj] = fc.lockFactsOf(g, fn.Body, add)
+	}
+	for lit := range g.goBodies {
+		anonFacts = append(anonFacts, fc.lockFactsOf(g, lit.Body, add))
+	}
+	for lit := range g.postBodies {
+		anonFacts = append(anonFacts, fc.lockFactsOf(g, lit.Body, add))
+	}
+
+	// Transitive closures over the same-goroutine call graph.
+	transAcq := make(map[types.Object]map[string]bool)
+	transEP := make(map[types.Object]string)
+	var acq func(o types.Object, stack map[types.Object]bool) map[string]bool
+	acq = func(o types.Object, stack map[types.Object]bool) map[string]bool {
+		if got, ok := transAcq[o]; ok {
+			return got
+		}
+		if stack[o] {
+			return nil // recursion: break the cycle, facts accumulate elsewhere
+		}
+		stack[o] = true
+		defer delete(stack, o)
+		out := make(map[string]bool)
+		if f := declFacts[o]; f != nil {
+			for k := range f.acquires {
+				out[k] = true
+			}
+		}
+		for _, c := range g.calls[o] {
+			for k := range acq(c, stack) {
+				out[k] = true
+			}
+		}
+		transAcq[o] = out
+		return out
+	}
+	var ep func(o types.Object, stack map[types.Object]bool) string
+	ep = func(o types.Object, stack map[types.Object]bool) string {
+		if got, ok := transEP[o]; ok {
+			return got
+		}
+		if stack[o] {
+			return ""
+		}
+		stack[o] = true
+		defer delete(stack, o)
+		out := ""
+		if f := declFacts[o]; f != nil {
+			out = f.evalPost
+		}
+		if out == "" {
+			for _, c := range g.calls[o] {
+				if r := ep(c, stack); r != "" {
+					out = fmt.Sprintf("%s (via %s)", r, c.Name())
+					break
+				}
+			}
+		}
+		transEP[o] = out
+		return out
+	}
+
+	// Fold held-context calls into edges and blocking-call reports.
+	edges := make(map[string]map[string][]lockEdge)
+	addEdge := func(from, to string, e lockEdge) {
+		if from == to {
+			return
+		}
+		if edges[from] == nil {
+			edges[from] = make(map[string][]lockEdge)
+		}
+		edges[from][to] = append(edges[from][to], e)
+	}
+	allFacts := make([]*lockFacts, 0, len(declFacts)+len(anonFacts))
+	for _, f := range declFacts {
+		allFacts = append(allFacts, f)
+	}
+	allFacts = append(allFacts, anonFacts...)
+	for _, f := range allFacts {
+		for _, hc := range f.heldCalls {
+			stack := make(map[types.Object]bool)
+			for m := range acq(hc.callee, stack) {
+				for _, h := range hc.held {
+					addEdge(h, m, lockEdge{pos: hc.pos, note: hc.callee.Name()})
+				}
+			}
+			if r := ep(hc.callee, make(map[types.Object]bool)); r != "" {
+				add(hc.pos, "call to %s while %s is held reaches %s: the loop or the evaluated script can need the same mutex and deadlock; release before calling",
+					hc.callee.Name(), strings.Join(hc.held, ", "), r)
+			}
+		}
+		// Direct lexical edges were recorded during the walk (below,
+		// via the directEdges field on the facts).
+		for _, de := range f.directEdges {
+			addEdge(de.from, de.to, lockEdge{pos: de.pos})
+		}
+	}
+
+	// Cycle detection: report every edge that lies on a cycle.
+	reach := func(from, to string) bool {
+		seen := map[string]bool{}
+		var dfs func(n string) bool
+		dfs = func(n string) bool {
+			if n == to {
+				return true
+			}
+			if seen[n] {
+				return false
+			}
+			seen[n] = true
+			for m := range edges[n] {
+				if dfs(m) {
+					return true
+				}
+			}
+			return false
+		}
+		return dfs(from)
+	}
+	var froms []string
+	for from := range edges {
+		froms = append(froms, from)
+	}
+	sort.Strings(froms)
+	for _, from := range froms {
+		var tos []string
+		for to := range edges[from] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			if !reach(to, from) {
+				continue
+			}
+			e := edges[from][to][0]
+			via := ""
+			if e.note != "" {
+				via = fmt.Sprintf(" (via call to %s)", e.note)
+			}
+			add(e.pos, "lock order cycle: %s is acquired while %s is held%s, and another path acquires %s while %s is held; concurrent goroutines taking the two paths deadlock",
+				to, from, via, from, to)
+		}
+	}
+
+	SortDiagnostics(findings)
+	for _, f := range files {
+		fc.ignores = scanVetIgnores(fc.v.fset, f)
+		fname := fc.v.fset.Position(f.Pos()).Filename
+		for _, d := range findings {
+			if d.File != fname {
+				continue
+			}
+			if set := fc.ignores[d.Line]; set != nil && (set["all"] || set[d.Rule]) {
+				continue
+			}
+			fc.diags = append(fc.diags, d)
+		}
+	}
+}
+
+// directEdge is a lexical acquire-while-held observation.
+type directEdge struct {
+	from, to string
+	pos      token.Pos
+}
+
+// lockFactsOf walks one unit in source order tracking the lexically
+// held set, like checkLockedEval, and records acquires, acquire-edges,
+// held calls and Eval/Post use. Post-under-lock is reported directly
+// through add.
+func (fc *vetCheck) lockFactsOf(g *pkgGraph, body ast.Node, add func(token.Pos, string, ...any)) *lockFacts {
+	f := &lockFacts{acquires: make(map[string]bool)}
+	held := make(map[string]bool)
+	deferred := make(map[string]bool)
+	heldList := func() []string {
+		var out []string
+		for k := range held {
+			out = append(out, k)
+		}
+		sort.Strings(out)
+		return out
+	}
+	g.unitWalk(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.DeferStmt:
+			if name, key := fc.knownMutexMethod(node.Call); name == "Unlock" || name == "RUnlock" {
+				deferred[key] = true
+				return false
+			}
+		case *ast.CallExpr:
+			if name, key := fc.knownMutexMethod(node); name != "" {
+				switch name {
+				case "Lock", "RLock":
+					for h := range held {
+						f.directEdges = append(f.directEdges, directEdge{from: h, to: key, pos: node.Pos()})
+					}
+					held[key] = true
+					f.acquires[key] = true
+				case "Unlock", "RUnlock":
+					if !deferred[key] {
+						delete(held, key)
+					}
+				}
+				return true
+			}
+			if fc.appPost(node) {
+				f.evalPost = "App.Post"
+				if len(held) > 0 {
+					add(node.Pos(), "App.Post called while %s is held: if the event loop needs the same mutex the session deadlocks (and a full queue blocks here); enqueue after unlocking",
+						strings.Join(heldList(), ", "))
+				}
+				return true
+			}
+			if evalName := fc.interpEval(node); evalName != "" {
+				f.evalPost = "Interp." + evalName
+				// Direct lexical Eval-under-lock is lockedeval's report.
+				return true
+			}
+			if g.goCalls[node] {
+				return true
+			}
+			if callee := fc.samePkgCallee(node); callee != nil && len(held) > 0 {
+				f.heldCalls = append(f.heldCalls, heldCall{callee: callee, held: heldList(), pos: node.Pos()})
+			}
+		}
+		return true
+	})
+	return f
+}
+
+// knownMutexMethod returns (method, mutex-key) when call is a
+// Lock/Unlock/RLock/RUnlock on a mutex the rule can name across
+// functions: a struct field ("pkg.Struct.field") or a package-level
+// var ("pkg.var"). Local mutex values get no stable identity and are
+// left to checkLockedEval's per-function tracking.
+func (fc *vetCheck) knownMutexMethod(call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", ""
+	}
+	t, ok := fc.info.Types[sel.X]
+	if !ok {
+		return "", ""
+	}
+	s := t.Type.String()
+	if !strings.HasSuffix(s, "sync.Mutex") && !strings.HasSuffix(s, "sync.RWMutex") {
+		return "", ""
+	}
+	switch recv := sel.X.(type) {
+	case *ast.SelectorExpr:
+		if key := fc.selFieldKey(recv); key != "" {
+			return name, key
+		}
+	case *ast.Ident:
+		if obj, ok := fc.info.Uses[recv]; ok {
+			if v, isVar := obj.(*types.Var); isVar && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return name, v.Pkg().Path() + "." + v.Name()
+			}
+		}
+	}
+	return "", ""
+}

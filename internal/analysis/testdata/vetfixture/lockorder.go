@@ -1,0 +1,77 @@
+// lockorder fixture: a two-mutex ordering cycle, a blocking call made
+// under a lock that transitively reaches Eval, Post under a lock, and
+// the clean idioms (consistent order, release-then-enqueue).
+package vetfixture
+
+import (
+	"sync"
+
+	"wafe/internal/tcl"
+	"wafe/internal/xt"
+)
+
+type registry struct {
+	mu    sync.Mutex
+	index sync.Mutex
+	app   *xt.App
+	in    *tcl.Interp
+	names []string
+}
+
+// badOrderAB and badOrderBA acquire the two mutexes in opposite
+// orders: each lexical edge lies on the cycle and is reported.
+func (r *registry) badOrderAB() {
+	r.mu.Lock()
+	r.index.Lock() // want lockorder
+	r.index.Unlock()
+	r.mu.Unlock()
+}
+
+func (r *registry) badOrderBA() {
+	r.index.Lock()
+	r.mu.Lock() // want lockorder
+	r.mu.Unlock()
+	r.index.Unlock()
+}
+
+// badHeldEval calls a helper while mu is held; the helper evaluates
+// Tcl, which can call back into code needing mu.
+func (r *registry) badHeldEval() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.notifyScript() // want lockorder
+}
+
+func (r *registry) notifyScript() {
+	r.in.Eval("registryChanged")
+}
+
+// badPostUnderLock enqueues loop work while holding mu: a full queue
+// blocks the sender, and the loop may need mu itself.
+func (r *registry) badPostUnderLock() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.app.Post(func() {}) // want lockorder
+}
+
+// goodConsistentOrder takes both locks in one fixed order everywhere
+// else too, so no cycle exists through it.
+func (r *registry) goodConsistentOrder() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.names) == 0 {
+		return ""
+	}
+	return r.names[0]
+}
+
+// goodReleaseThenPost copies what it needs under the lock and
+// enqueues after unlocking.
+func (r *registry) goodReleaseThenPost() {
+	r.mu.Lock()
+	n := len(r.names)
+	r.mu.Unlock()
+	if n > 0 {
+		r.app.Post(func() {})
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Vet is the wafevet engine: a go/types-based analyzer (stdlib only,
@@ -33,6 +34,15 @@ import (
 //	             primitives without ever consulting Widget.Clip/
 //	             ClipIntersects repaints blind, and one that calls
 //	             Display.ClearWindow wipes paint outside its clip.
+//	sessionowner — session state (tcl.Interp, xt.App/Widget,
+//	             xproto.Display, core.Wafe, frontend.Frontend/Session)
+//	             is owned by one event-loop goroutine; touches
+//	             reachable from any other goroutine must go through
+//	             App.Post or an allowlisted atomic (ownership.go).
+//	lockorder  — the lock-order graph over the package's known mutexes
+//	             must be acyclic, and no known mutex may be held across
+//	             a call that reaches Interp.Eval*/App.Post
+//	             (lockorder.go).
 //
 // Findings on a line (or the line below) a "//wafevet:ignore rule"
 // comment are suppressed.
@@ -40,6 +50,8 @@ type Vet struct {
 	root string // module root (directory containing the wafe packages)
 	fset *token.FileSet
 	imp  *vetImporter
+	// timings accumulates per-rule wall time across CheckDir calls.
+	timings map[string]time.Duration
 }
 
 const modulePath = "wafe"
@@ -149,18 +161,40 @@ func (v *Vet) CheckDir(dir string) ([]Diagnostic, error) {
 	v.imp.pkgs[pkgPath] = pkg
 
 	fc := &vetCheck{v: v, pkg: pkg, info: info}
+	timed := func(rule string, run func()) {
+		start := time.Now()
+		run()
+		if v.timings == nil {
+			v.timings = make(map[string]time.Duration)
+		}
+		v.timings[rule] += time.Since(start)
+	}
 	for _, f := range files {
 		fc.ignores = scanVetIgnores(v.fset, f)
 		if pkgPath != obsPkgPath {
-			fc.checkNilGuard(f)
+			timed("nilguard", func() { fc.checkNilGuard(f) })
 		}
-		fc.checkLockedEval(f)
-		fc.checkScan(f)
+		timed("lockedeval", func() { fc.checkLockedEval(f) })
+		timed("checkscan", func() { fc.checkScan(f) })
 	}
-	fc.checkAtomics(files)
-	fc.checkRedisplayClip(files)
+	timed("atomics", func() { fc.checkAtomics(files) })
+	timed("redisplayclip", func() { fc.checkRedisplayClip(files) })
+	var g *pkgGraph
+	timed("callgraph", func() { g = fc.buildPkgGraph(files) })
+	timed("sessionowner", func() { fc.checkSessionOwner(files, g) })
+	timed("lockorder", func() { fc.checkLockOrder(files, g) })
 	SortDiagnostics(fc.diags)
 	return fc.diags, nil
+}
+
+// Timings returns the cumulative per-rule wall time across every
+// CheckDir call on this Vet (the bench harness reports it).
+func (v *Vet) Timings() map[string]time.Duration {
+	out := make(map[string]time.Duration, len(v.timings))
+	for k, d := range v.timings {
+		out[k] = d
+	}
+	return out
 }
 
 // vetCheck carries the per-package analysis state. report filters

@@ -234,6 +234,11 @@ type Interp struct {
 	// on every expression evaluated.
 	evPool []*exprEvaluator
 
+	// opCounts, when armed via CountDispatch, tallies VM dispatches by
+	// opcode kind so tests can cross-check `wafecheck -why` labels
+	// against what the engine actually executed. Nil (free) by default.
+	opCounts *DispatchCounts
+
 	// frameSeq hands out a fresh identity to every frame activation
 	// (pooled frame objects are reused, so the pointer is not an
 	// identity); varEpoch counts the events that can invalidate a

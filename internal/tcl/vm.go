@@ -110,6 +110,9 @@ func (in *Interp) execCmd(p *Program, c *progCmd, regs []Value) (Value, string, 
 			if m := in.obs; m != nil {
 				m.Dispatch.Inc(name)
 			}
+			if dc := in.opCounts; dc != nil {
+				dc.Invoke++
+			}
 			var fn CommandFunc
 			if ins.c >= 0 {
 				ca := &p.caches[ins.c]
@@ -145,6 +148,9 @@ func (in *Interp) execCmd(p *Program, c *progCmd, regs []Value) (Value, string, 
 			if m := in.obs; m != nil {
 				m.Dispatch.Inc("set")
 			}
+			if dc := in.opCounts; dc != nil {
+				dc.Set++
+			}
 			nv := normFloat(regs[ins.b])
 			if err := in.setScalarRef(&p.vrefs[ins.a], p.names[ins.a], nv); err != nil {
 				return Value{}, "set", err
@@ -157,6 +163,9 @@ func (in *Interp) execCmd(p *Program, c *progCmd, regs []Value) (Value, string, 
 			}
 			if m := in.obs; m != nil {
 				m.Dispatch.Inc("incr")
+			}
+			if dc := in.opCounts; dc != nil {
+				dc.Incr++
 			}
 			v, err := in.incrRef(&p.vrefs[ins.a], p.names[ins.a], int64(ins.b))
 			if err != nil {
@@ -171,6 +180,9 @@ func (in *Interp) execCmd(p *Program, c *progCmd, regs []Value) (Value, string, 
 			if m := in.obs; m != nil {
 				m.Dispatch.Inc("expr")
 			}
+			if dc := in.opCounts; dc != nil {
+				dc.Expr++
+			}
 			ev := in.acquireEval()
 			v, err := p.exprs[ins.a].eval(ev)
 			in.releaseEval(ev)
@@ -183,6 +195,9 @@ func (in *Interp) execCmd(p *Program, c *progCmd, regs []Value) (Value, string, 
 			if in.specialGen != in.specialBase {
 				return in.execGenericFallback(c)
 			}
+			if dc := in.opCounts; dc != nil {
+				dc.ExprTmpl++
+			}
 			return in.execExprTmpl(p.tmpls[ins.a], c)
 
 		case opWhile:
@@ -194,6 +209,9 @@ func (in *Interp) execCmd(p *Program, c *progCmd, regs []Value) (Value, string, 
 			if m := in.obs; m != nil {
 				m.Dispatch.Inc("while")
 			}
+			if dc := in.opCounts; dc != nil {
+				dc.While++
+			}
 			return Value{}, "while", in.runWhile(&p.loops[ins.a])
 
 		case opFor:
@@ -204,6 +222,9 @@ func (in *Interp) execCmd(p *Program, c *progCmd, regs []Value) (Value, string, 
 			}
 			if m := in.obs; m != nil {
 				m.Dispatch.Inc("for")
+			}
+			if dc := in.opCounts; dc != nil {
+				dc.For++
 			}
 			return Value{}, "for", in.runFor(&p.loops[ins.a])
 		}

@@ -1,6 +1,8 @@
 package xt
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 )
@@ -58,6 +60,80 @@ func TestPostFromReaderWithFullQueue(t *testing.T) {
 	}
 	if seen != total {
 		t.Errorf("ran %d closures, want %d", seen, total)
+	}
+}
+
+// TestPostFunnelSerializesSessionState pins the cross-goroutine idioms
+// wafevet's sessionowner rule sanctions: session-owned state (the
+// widget tree) is only ever touched via App.Post or the AddInput /
+// AddInputEvents funnels, which marshal onto the loop goroutine. Many
+// producers hammer one widget concurrently; under -race this proves
+// the funnel serializes every access without any locking in xt itself.
+func TestPostFunnelSerializesSessionState(t *testing.T) {
+	app := NewTestApp("wafe")
+	top := newShell(t, app)
+	w, err := app.CreateWidget("l", testLabelClass, top, nil, true)
+	if err != nil {
+		t.Fatalf("create label: %v", err)
+	}
+
+	const posters, perPoster, inputLines = 4, 50, 50
+	want := posters*perPoster + 2*inputLines
+	touches := 0
+	touch := func(tag string, i int) func() {
+		return func() {
+			w.SetResourceValue("label", fmt.Sprintf("%s-%d", tag, i))
+			_ = w.Str("label") // read back on the loop, same funnel
+			if touches++; touches == want {
+				app.Quit(0)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < posters; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perPoster; i++ {
+				app.Post(touch(fmt.Sprintf("post%d", p), i))
+			}
+		}(p)
+	}
+
+	lines := make(chan string)
+	app.AddInput(lines, func(line string, eof bool) {
+		if !eof {
+			touch("input", len(line))()
+		}
+	})
+	events := make(chan InputEvent)
+	app.AddInputEvents(events, func(ev InputEvent) {
+		if !ev.EOF {
+			touch("event", len(ev.Line))()
+		}
+	})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < inputLines; i++ {
+			lines <- fmt.Sprintf("line %d", i)
+			events <- InputEvent{Line: fmt.Sprintf("ev %d", i)}
+		}
+		close(lines)
+		close(events)
+	}()
+
+	done := make(chan int, 1)
+	go func() { done <- app.MainLoop() }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("MainLoop did not quit after all funnel deliveries")
+	}
+	wg.Wait()
+	if touches != want {
+		t.Errorf("loop observed %d touches, want %d", touches, want)
 	}
 }
 

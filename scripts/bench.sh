@@ -160,13 +160,17 @@ fi
 
 # The `check` mode measures static-analysis throughput: it builds
 # wafecheck, times repeated full passes over the shipped demos and
-# example programs, and writes scripts/sec into BENCH_check.json. The
-# gate is twofold: the shipped scripts must be clean (exit 0) and a
-# full pass must finish in under CHECK_MAX_MS (default 10000 ms) — the
-# linter must stay fast enough to sit in CI and pre-commit hooks.
+# example programs, then builds wafevet and times one full pass (with
+# per-analyzer wall time) over every internal and cmd package, and
+# writes both into BENCH_check.json. Gates: the shipped scripts and
+# the Go tree must be clean (exit 0), a wafecheck pass must finish
+# under CHECK_MAX_MS (default 10000 ms), and the full wafevet pass
+# under VET_MAX_MS (default 10000 ms) — the analyzers must stay fast
+# enough to sit in CI and pre-commit hooks.
 if [ "${1:-}" = "check" ]; then
     passes="${COUNT:-3}"
     maxms="${CHECK_MAX_MS:-10000}"
+    vetmaxms="${VET_MAX_MS:-10000}"
     bin=$(mktemp /tmp/wafecheck.XXXXXX)
     go build -o "$bin" ./cmd/wafecheck
     nfiles=$(ls demos/*.wafe examples/*/main.go | wc -l | tr -d ' ')
@@ -178,17 +182,44 @@ if [ "${1:-}" = "check" ]; then
     done
     end=$(date +%s%N)
     rm -f "$bin"
-    awk -v ns="$((end - start))" -v passes="$passes" -v nfiles="$nfiles" -v maxms="$maxms" '
-    BEGIN {
+
+    vetbin=$(mktemp /tmp/wafevet.XXXXXX)
+    go build -o "$vetbin" ./cmd/wafevet
+    vetstart=$(date +%s%N)
+    vetout=$("$vetbin" -timing ./internal/... ./cmd/...) || {
+        printf '%s\n' "$vetout"
+        echo "check: wafevet is not clean over ./internal/... ./cmd/..."
+        rm -f "$vetbin"
+        exit 1
+    }
+    vetend=$(date +%s%N)
+    rm -f "$vetbin"
+
+    printf '%s\n' "$vetout" | awk \
+        -v ns="$((end - start))" -v passes="$passes" -v nfiles="$nfiles" -v maxms="$maxms" \
+        -v vetns="$((vetend - vetstart))" -v vetmaxms="$vetmaxms" '
+    /^vet-timing / { rules[$2] = $3; order[n++] = $2 }
+    END {
         ms_per_pass = ns / 1e6 / passes
         sps = (nfiles * passes) / (ns / 1e9)
-        printf "{\n  \"wafecheck\": {\"files\": %d, \"passes\": %d, \"ms_per_pass\": %.1f, \"scripts_per_sec\": %.1f}\n}\n", \
+        vet_ms = vetns / 1e6
+        printf "{\n  \"wafecheck\": {\"files\": %d, \"passes\": %d, \"ms_per_pass\": %.1f, \"scripts_per_sec\": %.1f},\n", \
             nfiles, passes, ms_per_pass, sps > "BENCH_check.json"
-        printf "check: %d files, %.1f ms/pass, %.1f scripts/sec\n", nfiles, ms_per_pass, sps
+        printf "  \"wafevet\": {\"total_ms\": %.1f, \"rules_ms\": {", vet_ms > "BENCH_check.json"
+        for (i = 0; i < n; i++)
+            printf "%s\"%s\": %s", (i ? ", " : ""), order[i], rules[order[i]] > "BENCH_check.json"
+        printf "}}\n}\n" > "BENCH_check.json"
+        printf "check: %d files, %.1f ms/pass, %.1f scripts/sec; wafevet %.1f ms\n", nfiles, ms_per_pass, sps, vet_ms
+        fail = 0
         if (ms_per_pass > maxms) {
-            printf "check: a full pass exceeds %d ms\n", maxms
-            exit 1
+            printf "check: a full wafecheck pass exceeds %d ms\n", maxms
+            fail = 1
         }
+        if (vet_ms > vetmaxms) {
+            printf "check: the wafevet pass exceeds %d ms\n", vetmaxms
+            fail = 1
+        }
+        exit fail
     }'
     status=$?
     cat BENCH_check.json

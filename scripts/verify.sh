@@ -20,11 +20,13 @@ go test ./...
 
 # The repo's own analyzers: wafevet enforces runtime invariants
 # (nil-guarded obs pointers, no mutex held across Interp.Eval,
-# checked strconv/Sscan errors, consistent atomics) over every
-# internal package; wafecheck lints the shipped demos and the example
-# programs' embedded scripts against the live command table.
-echo "== wafevet ./internal/..."
-go run ./cmd/wafevet ./internal/...
+# checked strconv/Sscan errors, consistent atomics, session-owned
+# state touched only from its event loop, an acyclic lock-order
+# graph) over every internal and cmd package; wafecheck lints the
+# shipped demos and the example programs' embedded scripts against
+# the live command table.
+echo "== wafevet ./internal/... ./cmd/..."
+go run ./cmd/wafevet ./internal/... ./cmd/...
 
 echo "== wafecheck demos/ examples/"
 go run ./cmd/wafecheck demos/ examples/
@@ -44,7 +46,7 @@ go test -race ./internal/tcl/ ./internal/core/ ./internal/xt/ ./internal/fronten
 # so a renamed test cannot silently drop out of the gate.
 echo "== go test -race fault injection + supervision + xrm concurrency + sessions + tracing"
 go test -race -count 1 \
-    -run 'TestSupervisor|TestShutdown|TestReadError|TestOverlong|TestPostFrom|TestTimerRemoved|TestXrmConcurrent|TestSession|TestServe|TestTrace|TestRing|TestSpan|TestFlight' \
+    -run 'TestSupervisor|TestShutdown|TestReadError|TestOverlong|TestPostFrom|TestPostFunnel|TestTimerRemoved|TestXrmConcurrent|TestSession|TestServe|TestTrace|TestRing|TestSpan|TestFlight' \
     ./internal/xt/ ./internal/frontend/ ./internal/obs/
 
 # The serve-mode load harness at a reduced session count: full scale
